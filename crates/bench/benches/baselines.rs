@@ -1,0 +1,46 @@
+//! E11 (cost half): per-frame classification cost of the paper's SAX
+//! approach vs the classical baselines, on identical pre-segmented masks.
+//!
+//! The shape to reproduce: SAX ≈ the cheap descriptors, far below DTW, while
+//! (per the accuracy half in `run_experiments e11`) matching DTW's accuracy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdc_figure::{render_sign, MarshallingSign, ViewSpec};
+use hdc_raster::threshold::binarize;
+use hdc_raster::Bitmap;
+use hdc_sax::SaxParams;
+use hdc_vision::classifiers::{
+    DtwClassifier, HuClassifier, SaxClassifier, SignClassifier, ZoningClassifier,
+};
+
+fn sign_mask(sign: MarshallingSign) -> Bitmap {
+    let frame = render_sign(sign, &ViewSpec::paper_default(0.0, 5.0, 3.0));
+    binarize(&frame, 128)
+}
+
+fn trained<C: SignClassifier>(mut c: C) -> C {
+    for sign in MarshallingSign::ALL {
+        assert!(c.train(sign.label(), &sign_mask(sign)));
+    }
+    c
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let query = sign_mask(MarshallingSign::No);
+    let sax = trained(SaxClassifier::new(SaxParams::default(), 128));
+    let dtw_tight = trained(DtwClassifier::new(128, 8, 8));
+    let dtw_full = trained(DtwClassifier::new(128, usize::MAX, 1));
+    let hu = trained(HuClassifier::new());
+    let zoning = trained(ZoningClassifier::new(4));
+
+    let mut group = c.benchmark_group("baselines_classify");
+    group.bench_function("sax", |b| b.iter(|| sax.classify(&query)));
+    group.bench_function("dtw_banded_stride8", |b| b.iter(|| dtw_tight.classify(&query)));
+    group.bench_function("dtw_full_exhaustive", |b| b.iter(|| dtw_full.classify(&query)));
+    group.bench_function("hu_moments", |b| b.iter(|| hu.classify(&query)));
+    group.bench_function("zoning_4x4", |b| b.iter(|| zoning.classify(&query)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E4 (timing half of Figure 4): end-to-end recognition latency of the "No"
+//! sign at relative azimuth 0° and 65°.
+//!
+//! The paper reports 38 ms (0°) and 27 ms (65°) in unoptimised Python; the
+//! shape to reproduce is (a) both far below the 33 ms 30-fps budget in
+//! native code, (b) the oblique frame cheaper than the frontal one.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hdc_figure::{render_sign, MarshallingSign, ViewSpec};
+use hdc_vision::{PipelineConfig, RecognitionPipeline};
+
+fn calibrated() -> RecognitionPipeline {
+    let mut p = RecognitionPipeline::new(PipelineConfig::default());
+    p.calibrate_from_views(&ViewSpec::paper_default(0.0, 5.0, 3.0));
+    p
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let pipeline = calibrated();
+    let frame0 = render_sign(MarshallingSign::No, &ViewSpec::paper_default(0.0, 5.0, 3.0));
+    let frame65 = render_sign(MarshallingSign::No, &ViewSpec::paper_default(65.0, 5.0, 3.0));
+
+    let mut group = c.benchmark_group("fig4_no_sign");
+    group.bench_function("recognize_azimuth_0", |b| {
+        b.iter(|| pipeline.recognize(&frame0))
+    });
+    group.bench_function("recognize_azimuth_65", |b| {
+        b.iter(|| pipeline.recognize(&frame65))
+    });
+    // the paper's canonical-reference enrollment cost (one-off)
+    group.bench_function("calibrate_from_canonical_views", |b| {
+        b.iter_batched(
+            || RecognitionPipeline::new(PipelineConfig::default()),
+            |mut p| {
+                p.calibrate_from_views(&ViewSpec::paper_default(0.0, 5.0, 3.0));
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E4 (throughput half): sustained frames-per-second of the full pipeline at
+//! several camera resolutions, against the paper's 30 fps (native) and
+//! 60 fps (hardware offload) bars.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hdc_figure::{render_sign, MarshallingSign, ViewSpec};
+use hdc_vision::{PipelineConfig, RecognitionPipeline};
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_throughput");
+    for (w, h) in [(320u32, 240u32), (640, 480), (1280, 960)] {
+        let view = ViewSpec {
+            azimuth_deg: 0.0,
+            altitude_m: 5.0,
+            distance_m: 3.0,
+            width: w,
+            height: h,
+            focal_px: w as f64,
+        };
+        let mut pipeline = RecognitionPipeline::new(PipelineConfig::default());
+        pipeline.calibrate_from_views(&view);
+        let frame = render_sign(MarshallingSign::Yes, &view);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(
+            BenchmarkId::new("recognize", format!("{w}x{h}")),
+            &frame,
+            |b, frame| b.iter(|| pipeline.recognize(frame)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

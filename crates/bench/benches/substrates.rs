@@ -1,0 +1,74 @@
+//! Substrate micro-benches: the stages behind the pipeline numbers
+//! (segmentation, components, contour tracing, signature math, rendering,
+//! DTW variants) so regressions can be localised.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdc_figure::{render_sign, MarshallingSign, ViewSpec};
+use hdc_geometry::Vec2;
+use hdc_raster::contour::trace_outer_contour;
+use hdc_raster::threshold::{binarize, otsu_threshold};
+use hdc_raster::{draw, label_components, largest_component, Connectivity, GrayImage};
+use hdc_timeseries::{dtw_banded, paa, resample, TimeSeries};
+
+fn test_frame() -> GrayImage {
+    render_sign(MarshallingSign::No, &ViewSpec::paper_default(0.0, 5.0, 3.0))
+}
+
+fn bench_raster(c: &mut Criterion) {
+    let frame = test_frame();
+    let mask = binarize(&frame, 128);
+    let (blob, _) = largest_component(&mask, Connectivity::Eight).unwrap();
+
+    let mut group = c.benchmark_group("raster");
+    group.bench_function("binarize_640x480", |b| b.iter(|| binarize(&frame, 128)));
+    group.bench_function("otsu_threshold_640x480", |b| b.iter(|| otsu_threshold(&frame)));
+    group.bench_function("label_components_640x480", |b| {
+        b.iter(|| label_components(&mask, Connectivity::Eight))
+    });
+    group.bench_function("trace_outer_contour", |b| b.iter(|| trace_outer_contour(&blob)));
+    group.bench_function("fill_disk_r40", |b| {
+        b.iter(|| {
+            let mut img = GrayImage::new(128, 128);
+            draw::fill_disk(&mut img, Vec2::new(64.0, 64.0), 40.0, 255);
+            img
+        })
+    });
+    group.finish();
+}
+
+fn bench_series(c: &mut Criterion) {
+    let raw: Vec<f64> = (0..700).map(|i| (i as f64 * 0.05).sin()).collect();
+    let z128 = TimeSeries::new(resample(&raw, 128)).znormalized().into_values();
+    let other: Vec<f64> = (0..128).map(|i| (i as f64 * 0.11).cos()).collect();
+
+    let mut group = c.benchmark_group("timeseries");
+    group.bench_function("resample_700_to_128", |b| b.iter(|| resample(&raw, 128)));
+    group.bench_function("znormalize_128", |b| {
+        b.iter(|| TimeSeries::new(z128.clone()).znormalized())
+    });
+    group.bench_function("paa_128_to_16", |b| b.iter(|| paa(&z128, 16)));
+    group.bench_function("dtw_full_128", |b| b.iter(|| dtw_banded(&z128, &other, usize::MAX)));
+    group.bench_function("dtw_band8_128", |b| b.iter(|| dtw_banded(&z128, &other, 8)));
+    group.finish();
+}
+
+fn bench_render(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_render");
+    let view = ViewSpec::paper_default(0.0, 5.0, 3.0);
+    group.bench_function("render_sign_640x480", |b| {
+        b.iter(|| render_sign(MarshallingSign::Yes, &view))
+    });
+    let small = ViewSpec {
+        width: 320,
+        height: 240,
+        focal_px: 320.0,
+        ..view
+    };
+    group.bench_function("render_sign_320x240", |b| {
+        b.iter(|| render_sign(MarshallingSign::Yes, &small))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_raster, bench_series, bench_render);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! E10 (cost half): how the SAX parameters drive matching cost — encoding,
+//! rotation-invariant word matching, and the lower-bound pruned index lookup
+//! against an exhaustive scan on a grown template database.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdc_sax::{min_rotated_mindist, SaxEncoder, SaxIndex, SaxParams};
+use hdc_timeseries::min_rotated_euclidean;
+
+fn series(n: usize, seed: u64) -> Vec<f64> {
+    // deterministic pseudo-random smooth series
+    (0..n)
+        .map(|i| {
+            let x = i as f64 * 0.13 + seed as f64;
+            (x.sin() * 1.3 + (2.7 * x).cos() * 0.4) + ((seed % 7) as f64) * 0.1
+        })
+        .collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let data = series(128, 1);
+    let mut group = c.benchmark_group("sax_encode");
+    for (w, a) in [(8usize, 4u8), (16, 4), (32, 8), (64, 12)] {
+        let enc = SaxEncoder::new(SaxParams::new(w, a).unwrap());
+        group.bench_with_input(BenchmarkId::new("encode", format!("w{w}_a{a}")), &data, |b, d| {
+            b.iter(|| enc.encode(d))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rotation_invariant_matching");
+    let q = series(128, 1);
+    let t = series(128, 2);
+    for (w, a) in [(16usize, 4u8), (32, 8)] {
+        let enc = SaxEncoder::new(SaxParams::new(w, a).unwrap());
+        let wq = enc.encode(&q);
+        let wt = enc.encode(&t);
+        group.bench_function(format!("word_mindist_w{w}_a{a}"), |b| {
+            b.iter(|| min_rotated_mindist(&wq, &wt, 128))
+        });
+    }
+    group.bench_function("exact_euclidean_128", |b| {
+        b.iter(|| min_rotated_euclidean(&q, &t, 1))
+    });
+    group.finish();
+}
+
+fn bench_index_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_lookup");
+    let q = series(128, 999);
+    for db_size in [3usize, 30, 300] {
+        let mut idx = SaxIndex::new(SaxParams::default(), 128);
+        for i in 0..db_size {
+            idx.insert(format!("t{i}"), &series(128, i as u64));
+        }
+        group.bench_with_input(
+            BenchmarkId::new("pruned_best_match", db_size),
+            &q,
+            |b, q| b.iter(|| idx.best_match(q)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive_best_two", db_size),
+            &q,
+            |b, q| b.iter(|| idx.best_two(q)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_matching, bench_index_scaling);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! Usage:
+//! ```text
+//! run_experiments            # run everything
+//! run_experiments list       # list experiments
+//! run_experiments e1 e5      # run a subset
+//! ```
+
+use hdc_bench::{all_experiments, run_experiment, ExperimentId};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "list") {
+        println!("available experiments:");
+        for (id, desc) in all_experiments() {
+            println!("  {id:<4} {desc}");
+        }
+        return;
+    }
+
+    let ids: Vec<ExperimentId> = if args.is_empty() {
+        all_experiments().into_iter().map(|(id, _)| id).collect()
+    } else {
+        args.iter()
+            .filter_map(|a| {
+                a.trim_start_matches(['e', 'E'])
+                    .parse::<u8>()
+                    .ok()
+                    .map(ExperimentId)
+            })
+            .collect()
+    };
+
+    if ids.is_empty() {
+        eprintln!("no valid experiment ids given; try `run_experiments list`");
+        std::process::exit(2);
+    }
+
+    for id in ids {
+        match run_experiment(id) {
+            Some(report) => {
+                println!("{}", "=".repeat(78));
+                println!("{report}");
+            }
+            None => eprintln!("unknown experiment {id}"),
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Experiment harness for the `hdc` reproduction.
+//!
+//! Every quantitative claim, table and figure of the paper maps to one
+//! experiment function here (see `DESIGN.md` for the index). The
+//! `run_experiments` binary prints them; `EXPERIMENTS.md` archives a run.
+//!
+//! Criterion benches (latency/throughput, E4/E10/E11 timing halves) live in
+//! `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{all_experiments, run_experiment, ExperimentId};

@@ -1,0 +1,135 @@
+//! Timestamped event logging for negotiation sessions.
+
+use crate::protocol::{NegotiationState, ProtocolAction};
+use hdc_drone::{DroneEvent, PatternKind};
+use hdc_figure::MarshallingSign;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One entry in a session log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LogEntry {
+    /// The protocol state machine changed state.
+    StateChanged {
+        /// The state entered.
+        to: NegotiationState,
+    },
+    /// The protocol issued an action.
+    Action(ProtocolAction),
+    /// The drone emitted an event.
+    Drone(DroneEvent),
+    /// The drone finished a flight pattern.
+    PatternDone(PatternKind),
+    /// The human started holding a sign.
+    HumanSigned(MarshallingSign),
+    /// The human stopped signing.
+    HumanIdle,
+    /// The vision pipeline produced a decision.
+    Recognized(Option<String>),
+    /// Free-text note (experiment annotations).
+    Note(String),
+}
+
+impl fmt::Display for LogEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogEntry::StateChanged { to } => write!(f, "state → {to}"),
+            LogEntry::Action(a) => write!(f, "action: {a}"),
+            LogEntry::Drone(e) => write!(f, "drone: {e:?}"),
+            LogEntry::PatternDone(k) => write!(f, "pattern complete: {k}"),
+            LogEntry::HumanSigned(s) => write!(f, "human signs {s}"),
+            LogEntry::HumanIdle => write!(f, "human lowers arms"),
+            LogEntry::Recognized(Some(l)) => write!(f, "vision: recognised {l}"),
+            LogEntry::Recognized(None) => write!(f, "vision: no sign"),
+            LogEntry::Note(s) => write!(f, "note: {s}"),
+        }
+    }
+}
+
+/// A timestamped sequence of [`LogEntry`] values.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventLog {
+    entries: Vec<(f64, LogEntry)>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Appends an entry at time `t`.
+    pub fn push(&mut self, t: f64, entry: LogEntry) {
+        self.entries.push((t, entry));
+    }
+
+    /// The entries in order.
+    pub fn entries(&self) -> &[(f64, LogEntry)] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries matching a predicate.
+    pub fn filter<'a, F>(&'a self, mut pred: F) -> impl Iterator<Item = &'a (f64, LogEntry)> + 'a
+    where
+        F: FnMut(&LogEntry) -> bool + 'a,
+    {
+        self.entries.iter().filter(move |(_, e)| pred(e))
+    }
+
+    /// First time an entry satisfying `pred` occurs.
+    pub fn first_time<F>(&self, mut pred: F) -> Option<f64>
+    where
+        F: FnMut(&LogEntry) -> bool,
+    {
+        self.entries.iter().find(|(_, e)| pred(e)).map(|(t, _)| *t)
+    }
+}
+
+impl fmt::Display for EventLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (t, e) in &self.entries {
+            writeln!(f, "[{t:7.2}s] {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut log = EventLog::new();
+        assert!(log.is_empty());
+        log.push(1.0, LogEntry::Note("a".into()));
+        log.push(2.0, LogEntry::HumanIdle);
+        log.push(3.0, LogEntry::Note("b".into()));
+        assert_eq!(log.len(), 3);
+        let notes: Vec<_> = log.filter(|e| matches!(e, LogEntry::Note(_))).collect();
+        assert_eq!(notes.len(), 2);
+        assert_eq!(log.first_time(|e| *e == LogEntry::HumanIdle), Some(2.0));
+        assert_eq!(log.first_time(|e| matches!(e, LogEntry::Recognized(_))), None);
+    }
+
+    #[test]
+    fn display_renders_lines() {
+        let mut log = EventLog::new();
+        log.push(0.5, LogEntry::HumanSigned(MarshallingSign::Yes));
+        log.push(1.0, LogEntry::Recognized(Some("Yes".into())));
+        let text = log.to_string();
+        assert!(text.contains("human signs Yes"));
+        assert!(text.contains("vision: recognised Yes"));
+        assert!(text.contains("[   0.50s]"));
+    }
+}

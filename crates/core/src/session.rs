@@ -1,0 +1,704 @@
+//! The closed-loop collaboration session.
+//!
+//! Everything the paper sketches, running end-to-end in one loop: the drone
+//! approaches and pokes (motion), the human perceives the pattern (the
+//! trajectory classifier — a person watching), decides per their role
+//! profile, turns toward the drone and holds a sign (articulated figure),
+//! the drone's camera renders a frame (pinhole projection), the vision
+//! pipeline recognises the sign (SAX), and the protocol machine advances.
+//! No channel is faked: misread patterns, bad facing angles, dead-angle
+//! rejections and timeouts all happen for geometric reasons.
+
+use crate::log::{EventLog, LogEntry};
+use crate::protocol::{
+    NegotiationConfig, NegotiationMachine, NegotiationState, ProtocolAction, SessionOutcome,
+};
+use crate::roles::Role;
+use crate::safety::SafetyMonitor;
+use hdc_drone::{Drone, DroneConfig, DroneEvent, FlightPattern, PatternClassifier, PatternKind};
+use hdc_figure::{render_signaller, MarshallingSign, Pose, Signaller, ViewSpec};
+use hdc_geometry::{CameraIntrinsics, PinholeCamera, Vec2, Vec3};
+use hdc_vision::{PipelineConfig, RecognitionPipeline};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Session parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// The human collaborator's role (drives response behaviour).
+    pub role: Role,
+    /// Whether the human intends to consent when asked.
+    pub will_consent: bool,
+    /// Human ground position.
+    pub human_position: Vec2,
+    /// Human initial facing, radians.
+    pub human_heading: f64,
+    /// Drone start (ground) position.
+    pub drone_home: Vec2,
+    /// Horizontal contact distance for the negotiation, metres.
+    pub contact_distance_m: f64,
+    /// Negotiation altitude, metres.
+    pub negotiation_altitude_m: f64,
+    /// Camera frame cadence while listening for signs, seconds.
+    pub frame_interval_s: f64,
+    /// Hard wall-clock cap on the session, seconds.
+    pub max_duration_s: f64,
+    /// Protocol timeouts/retries.
+    pub negotiation: NegotiationConfig,
+    /// RNG seed (human behaviour).
+    pub seed: u64,
+    /// Optional behavioural-profile override (sensitivity studies). When
+    /// `None` the role's standard profile applies.
+    pub profile_override: Option<crate::roles::RoleProfile>,
+}
+
+impl SessionConfig {
+    /// A worker at 12 m who will consent — the paper's Figure 3 scenario.
+    pub fn worker_example(seed: u64) -> Self {
+        SessionConfig::for_role(Role::Worker, true, seed)
+    }
+
+    /// A session with the given role and consent intention.
+    pub fn for_role(role: Role, will_consent: bool, seed: u64) -> Self {
+        SessionConfig {
+            role,
+            will_consent,
+            human_position: Vec2::new(12.0, 8.0),
+            human_heading: 0.3,
+            drone_home: Vec2::ZERO,
+            contact_distance_m: 3.0,
+            negotiation_altitude_m: 4.0,
+            frame_interval_s: 0.5,
+            max_duration_s: 180.0,
+            negotiation: NegotiationConfig::default(),
+            seed,
+            profile_override: None,
+        }
+    }
+}
+
+/// What a finished session reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Final outcome.
+    pub outcome: SessionOutcome,
+    /// Total simulated time, seconds.
+    pub duration_s: f64,
+    /// Camera frames processed.
+    pub frames_processed: usize,
+    /// Frames on which the pipeline produced a decision.
+    pub frames_recognized: usize,
+    /// The full event log.
+    pub log: EventLog,
+}
+
+/// What the human decided to answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PlannedResponse {
+    /// Hold a static marshalling sign.
+    Sign(MarshallingSign),
+    /// Wave the drone off (dynamic gesture — emphatic refusal).
+    WaveOff,
+}
+
+/// A scheduled human response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PendingResponse {
+    due_at: f64,
+    response: PlannedResponse,
+}
+
+/// What the human is doing with their arms right now.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum HumanActivity {
+    /// Arms down.
+    Idle,
+    /// Holding a static sign until the deadline.
+    Holding(MarshallingSign, f64, Pose),
+    /// Waving the drone off until the deadline (slow deliberate wave).
+    Waving(f64 /* until */, f64 /* started at */),
+}
+
+/// The human's current signalling state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HumanState {
+    heading: f64,
+    activity: HumanActivity,
+    pending: Option<PendingResponse>,
+}
+
+/// The closed-loop session engine.
+#[derive(Debug, Clone)]
+pub struct CollaborationSession {
+    config: SessionConfig,
+    drone: Drone,
+    machine: NegotiationMachine,
+    pipeline: RecognitionPipeline,
+    dynamic: hdc_vision::dynamic::DynamicRecognizer,
+    observer: PatternClassifier,
+    monitor: SafetyMonitor,
+    human: HumanState,
+    rng: SmallRng,
+    log: EventLog,
+    time: f64,
+    next_frame_at: f64,
+    frames_processed: usize,
+    frames_recognized: usize,
+    contact_point: Vec3,
+    flying_to: Option<Vec3>,
+    entered_area: bool,
+    static_filter: hdc_vision::DecisionFilter,
+}
+
+/// Sign hold duration, seconds.
+const SIGN_HOLD_S: f64 = 5.0;
+/// Wave-off duration, seconds (slow deliberate wave at [`WAVE_HZ`]).
+const WAVE_HOLD_S: f64 = 8.0;
+/// Wave frequency, Hz — slow enough that the 0.5 s camera cadence samples
+/// each cycle ~5 times.
+const WAVE_HZ: f64 = 0.4;
+/// Probability that a refusing human waves off instead of signing No.
+const WAVE_OFF_PROB: f64 = 0.35;
+/// Simulation step, seconds.
+const DT: f64 = 0.1;
+
+impl CollaborationSession {
+    /// Builds a session: calibrates the vision pipeline from the canonical
+    /// views (the paper's 0°-azimuth references at the negotiation geometry)
+    /// and positions the actors.
+    pub fn new(config: SessionConfig) -> Self {
+        let mut pipeline = RecognitionPipeline::new(PipelineConfig::default());
+        pipeline.calibrate_from_views(&ViewSpec::paper_default(
+            0.0,
+            config.negotiation_altitude_m,
+            config.contact_distance_m,
+        ));
+
+        // contact point: at contact distance from the human, on the side the
+        // drone approaches from
+        let approach = (config.drone_home - config.human_position)
+            .normalized()
+            .unwrap_or(Vec2::X);
+        let contact_ground = config.human_position + approach * config.contact_distance_m;
+        let contact_point = Vec3::from_xy(contact_ground, config.negotiation_altitude_m);
+
+        CollaborationSession {
+            drone: Drone::new(DroneConfig {
+                home: Vec3::from_xy(config.drone_home, 0.0),
+                ..DroneConfig::default()
+            }),
+            machine: NegotiationMachine::new(config.negotiation),
+            pipeline,
+            observer: PatternClassifier::default(),
+            monitor: SafetyMonitor::default(),
+            dynamic: hdc_vision::dynamic::DynamicRecognizer::new(
+                hdc_vision::dynamic::DynamicConfig {
+                    window_s: 6.0,
+                    min_cycles: 2,
+                    min_amplitude: 0.12,
+                    static_max_sd: 0.03,
+                    min_frames: 6,
+                },
+            ),
+            human: HumanState {
+                heading: config.human_heading,
+                activity: HumanActivity::Idle,
+                pending: None,
+            },
+            rng: SmallRng::seed_from_u64(config.seed),
+            log: EventLog::new(),
+            time: 0.0,
+            next_frame_at: 0.0,
+            frames_processed: 0,
+            frames_recognized: 0,
+            contact_point,
+            flying_to: None,
+            entered_area: false,
+            static_filter: hdc_vision::DecisionFilter::new(2),
+            config,
+        }
+    }
+
+    /// The event log so far.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// The simulated drone (for inspection).
+    pub fn drone(&self) -> &Drone {
+        &self.drone
+    }
+
+    /// The protocol machine state.
+    pub fn state(&self) -> NegotiationState {
+        self.machine.state()
+    }
+
+    /// Elapsed simulated time, seconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Whether the session has reached a terminal protocol state and the
+    /// drone has finished moving.
+    pub fn is_done(&self) -> bool {
+        self.machine.state().is_terminal() && !self.drone.is_executing() && self.flying_to.is_none()
+    }
+
+    fn note(&mut self, entry: LogEntry) {
+        self.log.push(self.time, entry);
+    }
+
+    /// The behavioural profile in force (override or the role's standard).
+    fn behaviour_profile(&self) -> crate::roles::RoleProfile {
+        self.config
+            .profile_override
+            .unwrap_or_else(|| self.config.role.profile())
+    }
+
+    fn apply_actions(&mut self, actions: Vec<ProtocolAction>) {
+        for action in actions {
+            self.note(LogEntry::Action(action.clone()));
+            match action {
+                ProtocolAction::FlyToContact => {
+                    // take off first if grounded
+                    if self.drone.state().is_grounded() {
+                        self.drone.execute_pattern(FlightPattern::TakeOff {
+                            target_altitude: self.config.negotiation_altitude_m,
+                        });
+                    }
+                    self.flying_to = Some(self.contact_point);
+                }
+                ProtocolAction::ExecutePoke => {
+                    let toward = self.config.human_position - self.drone.state().position.xy();
+                    // clear the trace so the human reads only the gesture,
+                    // not the preceding transit
+                    let _ = self.drone.take_trace();
+                    self.drone.execute_pattern(FlightPattern::Poke { toward });
+                }
+                ProtocolAction::ExecuteRectangle => {
+                    let _ = self.drone.take_trace();
+                    // small enough that no corner of the circuit can breach
+                    // the 2 m separation from the 3 m contact distance
+                    self.drone.execute_pattern(FlightPattern::RectangleRequest {
+                        half_width: 0.45,
+                        half_depth: 0.35,
+                    });
+                }
+                ProtocolAction::ExecuteNod => self.drone.execute_pattern(FlightPattern::Nod),
+                ProtocolAction::ExecuteTurn => self.drone.execute_pattern(FlightPattern::Turn),
+                ProtocolAction::EnterArea => {
+                    self.monitor.access_granted = true;
+                    self.entered_area = true;
+                    self.flying_to = Some(Vec3::from_xy(
+                        self.config.human_position,
+                        self.config.negotiation_altitude_m,
+                    ));
+                }
+                ProtocolAction::Retreat => {
+                    let away = (self.drone.state().position.xy() - self.config.human_position)
+                        .normalized()
+                        .unwrap_or(Vec2::X);
+                    self.flying_to = Some(Vec3::from_xy(
+                        self.config.human_position + away * (self.config.contact_distance_m * 3.0),
+                        self.config.negotiation_altitude_m,
+                    ));
+                }
+                ProtocolAction::DangerLand => {
+                    self.flying_to = None;
+                    self.drone.trigger_safety("protocol abort");
+                }
+            }
+        }
+    }
+
+    /// The human perceives a completed drone pattern and maybe schedules a
+    /// response.
+    fn human_perceive(&mut self, trace: hdc_drone::Trajectory) {
+        let Some(kind) = self.observer.classify(&trace) else {
+            self.note(LogEntry::Note("human could not read the drone's motion".into()));
+            return;
+        };
+        self.note(LogEntry::Note(format!("human reads the motion as: {kind}")));
+        let profile = self.behaviour_profile();
+        let respond = |rng: &mut SmallRng, p: f64| rng.gen::<f64>() < p;
+
+        let intended = match kind {
+            PatternKind::Poke => {
+                if !respond(&mut self.rng, profile.attend_probability) {
+                    self.note(LogEntry::Note("human ignores the poke".into()));
+                    return;
+                }
+                // someone who will refuse anyway may wave the drone off right
+                // at the poke — "don't even ask"
+                if !self.config.will_consent && self.rng.gen::<f64>() < WAVE_OFF_PROB {
+                    let due_at = self.time + profile.sample_latency(&mut self.rng);
+                    self.human.pending =
+                        Some(PendingResponse { due_at, response: PlannedResponse::WaveOff });
+                    return;
+                }
+                MarshallingSign::AttentionGained
+            }
+            PatternKind::RectangleRequest => {
+                if !respond(&mut self.rng, profile.answer_probability) {
+                    self.note(LogEntry::Note("human does not answer the request".into()));
+                    return;
+                }
+                if self.config.will_consent {
+                    MarshallingSign::Yes
+                } else {
+                    // an emphatic refuser may wave the drone off instead of
+                    // holding the static No
+                    if self.rng.gen::<f64>() < WAVE_OFF_PROB {
+                        let due_at = self.time + profile.sample_latency(&mut self.rng);
+                        self.human.pending =
+                            Some(PendingResponse { due_at, response: PlannedResponse::WaveOff });
+                        return;
+                    }
+                    MarshallingSign::No
+                }
+            }
+            _ => return, // nod/turn/transits need no human response
+        };
+
+        // training errors: the wrong sign comes out
+        let sign = if respond(&mut self.rng, profile.correct_sign_probability) {
+            intended
+        } else {
+            let options: Vec<MarshallingSign> = MarshallingSign::ALL
+                .into_iter()
+                .filter(|s| *s != intended)
+                .collect();
+            options[self.rng.gen_range(0..options.len())]
+        };
+        let due_at = self.time + profile.sample_latency(&mut self.rng);
+        self.human.pending = Some(PendingResponse {
+            due_at,
+            response: PlannedResponse::Sign(sign),
+        });
+    }
+
+    /// Renders the drone's camera view of the human and runs recognition.
+    fn process_frame(&mut self) {
+        let drone_pos = self.drone.state().position;
+        let distance = drone_pos.xy().distance(self.config.human_position);
+        if distance < 0.5 {
+            return; // directly overhead: no usable view
+        }
+        let pose = match self.human.activity {
+            HumanActivity::Holding(_, _, pose) => pose,
+            HumanActivity::Waving(_, started_at) => {
+                Pose::wave_off_phase((self.time - started_at) * WAVE_HZ)
+            }
+            HumanActivity::Idle => Pose::neutral(),
+        };
+        let signaller = Signaller::new(self.config.human_position, self.human.heading, pose);
+        let eye = drone_pos;
+        let target = signaller.chest();
+        let camera = PinholeCamera::look_at(eye, target, CameraIntrinsics::new(640, 480, 640.0));
+        let frame = render_signaller(&signaller, &camera);
+
+        // dynamic channel: the temporal recogniser sees every frame
+        let mask = hdc_raster::threshold::binarize(&frame, 128);
+        self.dynamic.push(self.time, &mask);
+        if self.dynamic.decision() == hdc_vision::dynamic::DynamicDecision::WaveOff {
+            self.note(LogEntry::Note("dynamic gesture: wave-off detected".into()));
+            self.dynamic.reset();
+            let actions = self.machine.on_wave_off(self.time);
+            if !actions.is_empty() {
+                self.note(LogEntry::StateChanged { to: self.machine.state() });
+                self.apply_actions(actions);
+                return;
+            }
+        }
+
+        // static channel — debounced: a label is believed only when two
+        // consecutive frames agree (a single mid-gesture frame can alias to
+        // a static sign; a held sign always repeats)
+        let result = self.pipeline.recognize(&frame);
+        self.frames_processed += 1;
+        if result.decision.is_some() {
+            self.frames_recognized += 1;
+        }
+        self.note(LogEntry::Recognized(result.decision.clone()));
+        let confirmed = self
+            .static_filter
+            .push(result.decision.as_deref())
+            .map(str::to_owned);
+        let sign = confirmed.as_deref().and_then(|label| {
+            MarshallingSign::ALL.into_iter().find(|s| s.label() == label)
+        });
+        let actions = self.machine.on_sign(sign, self.time);
+        if !actions.is_empty() {
+            self.note(LogEntry::StateChanged { to: self.machine.state() });
+        }
+        self.apply_actions(actions);
+    }
+
+    /// Fires an external safety fault into the session (fault injection for
+    /// experiment E12 and failure-mode tests). The protocol aborts, the ring
+    /// goes all-red and the drone lands — exactly as for an organically
+    /// detected violation.
+    pub fn inject_safety(&mut self, reason: &str) {
+        self.note(LogEntry::Note(format!("SAFETY (injected): {reason}")));
+        let actions = self.machine.on_safety(self.time);
+        self.note(LogEntry::StateChanged { to: self.machine.state() });
+        if actions.is_empty() {
+            // already terminal: still force the hardware posture
+            self.flying_to = None;
+            self.drone.trigger_safety(reason);
+        } else {
+            self.apply_actions(actions);
+        }
+    }
+
+    /// Advances the session by one step.
+    pub fn step(&mut self) {
+        self.time += DT;
+
+        // --- protocol bootstrap ---
+        if self.machine.state() == NegotiationState::Idle {
+            let actions = self.machine.start(self.time);
+            self.note(LogEntry::StateChanged { to: self.machine.state() });
+            self.apply_actions(actions);
+        }
+
+        // --- drone motion ---
+        if let Some(target) = self.flying_to {
+            if !self.drone.is_executing() {
+                self.drone.goto(target);
+                if self.drone.state().position.distance(target) < 0.35 {
+                    self.flying_to = None;
+                    if self.machine.state() == NegotiationState::Approaching {
+                        let actions = self.machine.on_arrived(self.time);
+                        self.note(LogEntry::StateChanged { to: self.machine.state() });
+                        self.apply_actions(actions);
+                    }
+                }
+            }
+        }
+        self.drone.tick(DT);
+
+        // --- drone events ---
+        for event in self.drone.drain_events() {
+            if let DroneEvent::PatternComplete(kind) = &event {
+                let kind = *kind;
+                self.note(LogEntry::PatternDone(kind));
+                let actions = self.machine.on_pattern_complete(self.time);
+                if !actions.is_empty() || matches!(kind, PatternKind::Poke | PatternKind::RectangleRequest)
+                {
+                    self.note(LogEntry::StateChanged { to: self.machine.state() });
+                }
+                self.apply_actions(actions);
+                // the human watches communicative patterns
+                if matches!(kind, PatternKind::Poke | PatternKind::RectangleRequest) {
+                    let trace = self.drone.take_trace();
+                    self.human_perceive(trace);
+                }
+            } else {
+                self.note(LogEntry::Drone(event));
+            }
+        }
+        // keep the trace bounded between patterns
+        if !self.drone.is_executing() && self.drone.trace().len() > 4000 {
+            let _ = self.drone.take_trace();
+        }
+
+        // --- human signalling ---
+        if let Some(pending) = self.human.pending {
+            if self.time >= pending.due_at {
+                self.human.pending = None;
+                let profile = self.behaviour_profile();
+                // turn toward the drone, imperfectly
+                let bearing =
+                    (self.drone.state().position.xy() - self.config.human_position).angle();
+                self.human.heading = bearing + profile.sample_facing_error(&mut self.rng);
+                match pending.response {
+                    PlannedResponse::Sign(sign) => {
+                        let pose =
+                            Pose::for_sign(sign).jittered(profile.pose_jitter_rad, &mut self.rng);
+                        self.human.activity =
+                            HumanActivity::Holding(sign, self.time + SIGN_HOLD_S, pose);
+                        self.note(LogEntry::HumanSigned(sign));
+                    }
+                    PlannedResponse::WaveOff => {
+                        self.human.activity =
+                            HumanActivity::Waving(self.time + WAVE_HOLD_S, self.time);
+                        self.note(LogEntry::Note("human waves the drone off".into()));
+                    }
+                }
+            }
+        }
+        match self.human.activity {
+            HumanActivity::Holding(_, until, _) | HumanActivity::Waving(until, _) => {
+                if self.time >= until {
+                    self.human.activity = HumanActivity::Idle;
+                    self.note(LogEntry::HumanIdle);
+                }
+            }
+            HumanActivity::Idle => {}
+        }
+
+        // --- vision frames while listening ---
+        let listening = matches!(
+            self.machine.state(),
+            NegotiationState::AwaitingAttention | NegotiationState::AwaitingAnswer
+        );
+        if listening && !self.drone.is_executing() && self.time >= self.next_frame_at {
+            self.next_frame_at = self.time + self.config.frame_interval_s;
+            self.process_frame();
+        }
+
+        // --- timeouts ---
+        let actions = self.machine.poll(self.time);
+        if !actions.is_empty() {
+            self.note(LogEntry::StateChanged { to: self.machine.state() });
+        }
+        self.apply_actions(actions);
+
+        // --- safety ---
+        if !self.machine.state().is_terminal() {
+            if let Some(violation) = self
+                .monitor
+                .check(self.drone.state(), self.config.human_position)
+            {
+                self.note(LogEntry::Note(format!("SAFETY: {violation}")));
+                let actions = self.machine.on_safety(self.time);
+                self.note(LogEntry::StateChanged { to: self.machine.state() });
+                self.apply_actions(actions);
+            }
+        }
+    }
+
+    /// Runs to completion (terminal protocol state or the time cap) and
+    /// reports.
+    pub fn run(&mut self) -> SessionOutcome {
+        while !self.is_done() && self.time < self.config.max_duration_s {
+            self.step();
+        }
+        self.machine.outcome()
+    }
+
+    /// Runs and produces the full report.
+    pub fn run_report(mut self) -> SessionReport {
+        let outcome = self.run();
+        SessionReport {
+            outcome,
+            duration_s: self.time,
+            frames_processed: self.frames_processed,
+            frames_recognized: self.frames_recognized,
+            log: self.log,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supervisor_yes_is_granted() {
+        let mut s = CollaborationSession::new(SessionConfig::for_role(Role::Supervisor, true, 3));
+        let outcome = s.run();
+        assert_eq!(outcome, SessionOutcome::Granted, "log:\n{}", s.log());
+    }
+
+    #[test]
+    fn supervisor_no_is_denied() {
+        let mut s = CollaborationSession::new(SessionConfig::for_role(Role::Supervisor, false, 4));
+        let outcome = s.run();
+        assert_eq!(outcome, SessionOutcome::Denied, "log:\n{}", s.log());
+    }
+
+    #[test]
+    fn worker_sessions_terminate() {
+        for seed in 0..5 {
+            let mut s = CollaborationSession::new(SessionConfig::worker_example(seed));
+            let outcome = s.run();
+            assert_ne!(outcome, SessionOutcome::StillRunning, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn granted_session_enters_only_after_yes() {
+        let mut s = CollaborationSession::new(SessionConfig::for_role(Role::Supervisor, true, 5));
+        let outcome = s.run();
+        assert_eq!(outcome, SessionOutcome::Granted);
+        let log = s.log();
+        let yes_t = log
+            .first_time(|e| matches!(e, LogEntry::Recognized(Some(l)) if l == "Yes"))
+            .expect("a Yes must be recognised");
+        let enter_t = log
+            .first_time(|e| *e == LogEntry::Action(ProtocolAction::EnterArea))
+            .expect("entry happens on grant");
+        assert!(yes_t <= enter_t, "R4: recognition precedes entry");
+    }
+
+    #[test]
+    fn visitor_often_fails_to_negotiate() {
+        let mut abandoned = 0;
+        for seed in 0..8 {
+            let mut s = CollaborationSession::new(SessionConfig::for_role(Role::Visitor, true, seed));
+            if s.run() == SessionOutcome::Abandoned {
+                abandoned += 1;
+            }
+        }
+        assert!(abandoned >= 1, "untrained visitors should sometimes stall the protocol");
+    }
+
+    #[test]
+    fn report_counts_frames() {
+        let s = CollaborationSession::new(SessionConfig::for_role(Role::Supervisor, true, 6));
+        let report = s.run_report();
+        assert!(report.frames_processed > 0);
+        assert!(report.frames_recognized <= report.frames_processed);
+        assert!(report.duration_s > 0.0);
+        assert!(!report.log.is_empty());
+    }
+
+    #[test]
+    fn wave_off_is_detected_dynamically_and_denies() {
+        // seed chosen so the refusing worker waves at the poke stage and the
+        // temporal recogniser fires before any static fallback
+        let mut s = CollaborationSession::new(SessionConfig::for_role(Role::Worker, false, 21));
+        let outcome = s.run();
+        assert_eq!(outcome, SessionOutcome::Denied);
+        let waved = s
+            .log()
+            .first_time(|e| matches!(e, LogEntry::Note(n) if n.contains("waves the drone off")));
+        let detected = s
+            .log()
+            .first_time(|e| matches!(e, LogEntry::Note(n) if n.contains("wave-off detected")));
+        assert!(waved.is_some(), "log:\n{}", s.log());
+        assert!(detected.is_some(), "dynamic channel must fire; log:\n{}", s.log());
+        assert!(waved < detected, "waving precedes detection");
+    }
+
+    #[test]
+    fn refusing_workers_always_end_denied_or_abandoned() {
+        for seed in 0..6 {
+            let mut s = CollaborationSession::new(SessionConfig::for_role(Role::Worker, false, seed));
+            let outcome = s.run();
+            assert!(
+                matches!(outcome, SessionOutcome::Denied | SessionOutcome::Abandoned),
+                "seed {seed}: {outcome}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_log_contains_the_figure3_flow() {
+        let mut s = CollaborationSession::new(SessionConfig::for_role(Role::Supervisor, true, 7));
+        s.run();
+        let log = s.log();
+        let poke = log.first_time(|e| *e == LogEntry::Action(ProtocolAction::ExecutePoke));
+        let attention = log.first_time(|e| matches!(e, LogEntry::HumanSigned(MarshallingSign::AttentionGained)));
+        let rect = log.first_time(|e| *e == LogEntry::Action(ProtocolAction::ExecuteRectangle));
+        let answer = log.first_time(|e| matches!(e, LogEntry::HumanSigned(MarshallingSign::Yes)));
+        assert!(poke.is_some() && attention.is_some() && rect.is_some() && answer.is_some());
+        assert!(poke < attention, "poke precedes attention");
+        assert!(attention < rect, "attention precedes the request");
+        assert!(rect < answer, "request precedes the answer");
+    }
+}

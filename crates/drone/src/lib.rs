@@ -1,0 +1,58 @@
+//! Drone simulation substrate for the `hdc` workspace.
+//!
+//! The paper's drone→human channel is *embodied*: an all-round LED ring
+//! (Figure 1) plus defined, observable flight patterns (Figure 2 and the
+//! four communicative patterns of Section III). We have no Yuneec H520, so
+//! this crate simulates the drone:
+//!
+//! * [`DroneState`] + point-mass [`Kinematics`] with acceleration limits,
+//! * a proportional [`WaypointController`],
+//! * gusty [`WindModel`] and [`BatteryModel`] disturbances,
+//! * the seven [`FlightPattern`]s with an analytic [`PatternExecutor`]
+//!   producing [`Trajectory`] traces,
+//! * a [`PatternClassifier`] — the *human observer model* that reads a
+//!   trajectory back into a pattern (the legibility requirement:
+//!   "unmistakable flight patterns ... an embodied statement of intent"),
+//! * the [`LedRing`] (10 tri-colour LEDs, FAA-style navigation colours,
+//!   all-red danger default) and the discarded [`VerticalArray`] with the
+//!   observer confusion study of experiment E9,
+//! * a [`Drone`] facade tying state, control, signalling and energy
+//!   together.
+//!
+//! # Example
+//! ```
+//! use hdc_drone::{Drone, DroneConfig, FlightPattern};
+//! let mut drone = Drone::new(DroneConfig::default());
+//! drone.execute_pattern(FlightPattern::TakeOff { target_altitude: 3.0 });
+//! while drone.is_executing() {
+//!     drone.tick(0.05);
+//! }
+//! assert!((drone.state().position.z - 3.0).abs() < 0.2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod battery;
+mod controller;
+mod drone;
+mod imu;
+mod kinematics;
+mod led;
+mod patterns;
+mod rgb_status;
+mod wind;
+
+pub use battery::BatteryModel;
+pub use controller::WaypointController;
+pub use drone::{Drone, DroneConfig, DroneEvent};
+pub use imu::{Barometer, FlightState, FlightStateEstimator, Imu, ImuSample, GRAVITY};
+pub use kinematics::{DroneState, Kinematics, KinematicsLimits};
+pub use led::{
+    LedColor, LedMode, LedRing, RingSnapshot, VerticalAnimation, VerticalArray, RING_LED_COUNT,
+};
+pub use rgb_status::{RgbStatusSignal, StatusHue};
+pub use patterns::{
+    FlightPattern, PatternClassifier, PatternExecutor, PatternKind, TimedPose, Trajectory,
+};
+pub use wind::WindModel;

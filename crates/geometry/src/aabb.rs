@@ -1,0 +1,151 @@
+//! Axis-aligned bounding boxes in the plane.
+
+use crate::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// A 2-D axis-aligned bounding box.
+///
+/// # Example
+/// ```
+/// use hdc_geometry::{Aabb2, Vec2};
+/// let b = Aabb2::from_points([Vec2::new(0.0, 1.0), Vec2::new(2.0, -1.0)]).unwrap();
+/// assert_eq!(b.width(), 2.0);
+/// assert_eq!(b.height(), 2.0);
+/// assert!(b.contains(Vec2::new(1.0, 0.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb2 {
+    min: Vec2,
+    max: Vec2,
+}
+
+impl Aabb2 {
+    /// Creates a box from its corners.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `min` exceeds `max` on any axis.
+    pub fn new(min: Vec2, max: Vec2) -> Self {
+        debug_assert!(min.x <= max.x && min.y <= max.y, "invalid aabb {min} {max}");
+        Aabb2 { min, max }
+    }
+
+    /// Smallest box containing all points, or `None` for an empty iterator.
+    pub fn from_points<I: IntoIterator<Item = Vec2>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut min = first;
+        let mut max = first;
+        for p in it {
+            min = min.min(p);
+            max = max.max(p);
+        }
+        Some(Aabb2 { min, max })
+    }
+
+    /// Lower-left corner.
+    pub fn min(&self) -> Vec2 {
+        self.min
+    }
+
+    /// Upper-right corner.
+    pub fn max(&self) -> Vec2 {
+        self.max
+    }
+
+    /// Box width (x extent).
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Box height (y extent).
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Box area.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Geometric centre.
+    pub fn center(&self) -> Vec2 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Whether the point lies inside or on the boundary.
+    pub fn contains(&self, p: Vec2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Smallest box containing both boxes.
+    pub fn union(&self, other: &Aabb2) -> Aabb2 {
+        Aabb2 {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Whether two boxes overlap (including touching edges).
+    pub fn intersects(&self, other: &Aabb2) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// Box grown by `margin` on every side.
+    ///
+    /// # Panics
+    /// Panics in debug builds if a negative margin would invert the box.
+    pub fn expanded(&self, margin: f64) -> Aabb2 {
+        Aabb2::new(
+            self.min - Vec2::splat(margin),
+            self.max + Vec2::splat(margin),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_bounds() {
+        let b = Aabb2::from_points([
+            Vec2::new(1.0, 5.0),
+            Vec2::new(-2.0, 3.0),
+            Vec2::new(0.0, 7.0),
+        ])
+        .unwrap();
+        assert_eq!(b.min(), Vec2::new(-2.0, 3.0));
+        assert_eq!(b.max(), Vec2::new(1.0, 7.0));
+        assert!(Aabb2::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn containment_and_center() {
+        let b = Aabb2::new(Vec2::ZERO, Vec2::new(4.0, 2.0));
+        assert!(b.contains(Vec2::new(4.0, 2.0)));
+        assert!(!b.contains(Vec2::new(4.1, 2.0)));
+        assert_eq!(b.center(), Vec2::new(2.0, 1.0));
+        assert_eq!(b.area(), 8.0);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = Aabb2::new(Vec2::ZERO, Vec2::splat(1.0));
+        let b = Aabb2::new(Vec2::splat(2.0), Vec2::splat(3.0));
+        assert!(!a.intersects(&b));
+        let u = a.union(&b);
+        assert_eq!(u.min(), Vec2::ZERO);
+        assert_eq!(u.max(), Vec2::splat(3.0));
+        assert!(u.intersects(&a) && u.intersects(&b));
+    }
+
+    #[test]
+    fn expansion() {
+        let b = Aabb2::new(Vec2::ZERO, Vec2::splat(1.0)).expanded(0.5);
+        assert_eq!(b.min(), Vec2::splat(-0.5));
+        assert_eq!(b.max(), Vec2::splat(1.5));
+    }
+}

@@ -1,0 +1,335 @@
+//! Planar polygons.
+
+use crate::{Aabb2, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// A simple planar polygon given by its vertices in order (closed implicitly).
+///
+/// Used for silhouette outlines, orchard plot boundaries and the rectangular
+/// "request area" flight pattern.
+///
+/// # Example
+/// ```
+/// use hdc_geometry::{Polygon, Vec2};
+/// let square = Polygon::rectangle(Vec2::ZERO, Vec2::new(2.0, 2.0));
+/// assert_eq!(square.area(), 4.0);
+/// assert!(square.contains(Vec2::new(1.0, 1.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<Vec2>,
+}
+
+impl Polygon {
+    /// Creates a polygon from vertices in order.
+    pub fn new(vertices: Vec<Vec2>) -> Self {
+        Polygon { vertices }
+    }
+
+    /// Axis-aligned rectangle from two opposite corners.
+    pub fn rectangle(a: Vec2, b: Vec2) -> Self {
+        let lo = a.min(b);
+        let hi = a.max(b);
+        Polygon::new(vec![
+            lo,
+            Vec2::new(hi.x, lo.y),
+            hi,
+            Vec2::new(lo.x, hi.y),
+        ])
+    }
+
+    /// Regular `n`-gon of given `radius` centred at `center`.
+    ///
+    /// # Panics
+    /// Panics if `n < 3`.
+    pub fn regular(center: Vec2, radius: f64, n: usize) -> Self {
+        assert!(n >= 3, "a polygon needs at least 3 vertices");
+        let verts = (0..n)
+            .map(|i| {
+                let a = std::f64::consts::TAU * i as f64 / n as f64;
+                center + Vec2::from_angle(a) * radius
+            })
+            .collect();
+        Polygon::new(verts)
+    }
+
+    /// The vertices in order.
+    pub fn vertices(&self) -> &[Vec2] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the polygon has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Iterates over edges as `(start, end)` pairs, wrapping around.
+    pub fn edges(&self) -> impl Iterator<Item = (Vec2, Vec2)> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| (self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// Signed area: positive for counter-clockwise winding.
+    pub fn signed_area(&self) -> f64 {
+        if self.vertices.len() < 3 {
+            return 0.0;
+        }
+        0.5 * self.edges().map(|(a, b)| a.cross(b)).sum::<f64>()
+    }
+
+    /// Absolute area.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Perimeter length.
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|(a, b)| a.distance(b)).sum()
+    }
+
+    /// Area centroid. Falls back to the vertex mean for degenerate polygons.
+    pub fn centroid(&self) -> Vec2 {
+        let a = self.signed_area();
+        if a.abs() <= crate::EPS {
+            if self.vertices.is_empty() {
+                return Vec2::ZERO;
+            }
+            return self.vertices.iter().copied().sum::<Vec2>() / self.vertices.len() as f64;
+        }
+        let c: Vec2 = self
+            .edges()
+            .map(|(p, q)| (p + q) * p.cross(q))
+            .sum::<Vec2>()
+            / (6.0 * a);
+        c
+    }
+
+    /// Even-odd point containment test (boundary points may go either way).
+    pub fn contains(&self, p: Vec2) -> bool {
+        let mut inside = false;
+        for (a, b) in self.edges() {
+            let crosses = (a.y > p.y) != (b.y > p.y);
+            if crosses {
+                let t = (p.y - a.y) / (b.y - a.y);
+                let x = a.x + t * (b.x - a.x);
+                if x > p.x {
+                    inside = !inside;
+                }
+            }
+        }
+        inside
+    }
+
+    /// Bounding box, or `None` for an empty polygon.
+    pub fn aabb(&self) -> Option<Aabb2> {
+        Aabb2::from_points(self.vertices.iter().copied())
+    }
+
+    /// Polygon translated by `delta`.
+    pub fn translated(&self, delta: Vec2) -> Polygon {
+        Polygon::new(self.vertices.iter().map(|v| *v + delta).collect())
+    }
+
+    /// Polygon rotated by `angle` radians about `pivot`.
+    pub fn rotated_about(&self, pivot: Vec2, angle: f64) -> Polygon {
+        Polygon::new(
+            self.vertices
+                .iter()
+                .map(|v| pivot + (*v - pivot).rotated(angle))
+                .collect(),
+        )
+    }
+
+    /// Polygon scaled by `factor` about `pivot`.
+    pub fn scaled_about(&self, pivot: Vec2, factor: f64) -> Polygon {
+        Polygon::new(
+            self.vertices
+                .iter()
+                .map(|v| pivot + (*v - pivot) * factor)
+                .collect(),
+        )
+    }
+
+    /// Whether all interior angles turn the same way (convex polygon).
+    pub fn is_convex(&self) -> bool {
+        let n = self.vertices.len();
+        if n < 4 {
+            return n == 3;
+        }
+        let mut sign = 0i8;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            let c = self.vertices[(i + 2) % n];
+            let cross = (b - a).cross(c - b);
+            if cross.abs() > crate::EPS {
+                let s = if cross > 0.0 { 1 } else { -1 };
+                if sign == 0 {
+                    sign = s;
+                } else if sign != s {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl FromIterator<Vec2> for Polygon {
+    fn from_iter<T: IntoIterator<Item = Vec2>>(iter: T) -> Self {
+        Polygon::new(iter.into_iter().collect())
+    }
+}
+
+/// Convex hull of a point set (Andrew's monotone chain), counter-clockwise.
+///
+/// Returns fewer than 3 points when the input is degenerate.
+///
+/// # Example
+/// ```
+/// use hdc_geometry::{convex_hull, Vec2};
+/// let hull = convex_hull(&[
+///     Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0),
+///     Vec2::new(1.0, 1.0), Vec2::new(0.0, 1.0),
+///     Vec2::new(0.5, 0.5),
+/// ]);
+/// assert_eq!(hull.len(), 4);
+/// ```
+pub fn convex_hull(points: &[Vec2]) -> Vec<Vec2> {
+    let mut pts: Vec<Vec2> = points.to_vec();
+    pts.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap().then(a.y.partial_cmp(&b.y).unwrap()));
+    pts.dedup_by(|a, b| a.distance(*b) <= crate::EPS);
+    let n = pts.len();
+    if n < 3 {
+        return pts;
+    }
+    let mut hull: Vec<Vec2> = Vec::with_capacity(2 * n);
+    // lower hull
+    for &p in &pts {
+        while hull.len() >= 2 {
+            let q = hull[hull.len() - 1];
+            let r = hull[hull.len() - 2];
+            if (q - r).cross(p - r) <= crate::EPS {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(p);
+    }
+    // upper hull
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len {
+            let q = hull[hull.len() - 1];
+            let r = hull[hull.len() - 2];
+            if (q - r).cross(p - r) <= crate::EPS {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(p);
+    }
+    hull.pop();
+    hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn rectangle_properties() {
+        let r = Polygon::rectangle(Vec2::ZERO, Vec2::new(3.0, 2.0));
+        assert_eq!(r.area(), 6.0);
+        assert_eq!(r.perimeter(), 10.0);
+        assert_eq!(r.centroid(), Vec2::new(1.5, 1.0));
+        assert!(r.is_convex());
+        assert!(r.signed_area() > 0.0, "rectangle() winds counter-clockwise");
+    }
+
+    #[test]
+    fn containment() {
+        let r = Polygon::rectangle(Vec2::ZERO, Vec2::splat(1.0));
+        assert!(r.contains(Vec2::splat(0.5)));
+        assert!(!r.contains(Vec2::new(1.5, 0.5)));
+        assert!(!r.contains(Vec2::new(-0.5, 0.5)));
+    }
+
+    #[test]
+    fn regular_polygon_approaches_circle() {
+        let p = Polygon::regular(Vec2::ZERO, 1.0, 360);
+        assert!(approx_eq(p.area(), std::f64::consts::PI, 1e-3));
+        assert!(approx_eq(p.perimeter(), std::f64::consts::TAU, 1e-3));
+        assert!(p.is_convex());
+    }
+
+    #[test]
+    fn concave_detected() {
+        let arrow = Polygon::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 0.0),
+            Vec2::new(1.0, 0.5),
+            Vec2::new(2.0, 2.0),
+            Vec2::new(0.0, 2.0),
+        ]);
+        assert!(!arrow.is_convex());
+    }
+
+    #[test]
+    fn transforms_preserve_area() {
+        let p = Polygon::rectangle(Vec2::ZERO, Vec2::new(2.0, 1.0));
+        let moved = p.translated(Vec2::new(5.0, 5.0));
+        let turned = p.rotated_about(Vec2::ZERO, 1.0);
+        assert!(approx_eq(moved.area(), 2.0, 1e-12));
+        assert!(approx_eq(turned.area(), 2.0, 1e-12));
+        let scaled = p.scaled_about(Vec2::ZERO, 2.0);
+        assert!(approx_eq(scaled.area(), 8.0, 1e-12));
+    }
+
+    #[test]
+    fn centroid_of_triangle() {
+        let t = Polygon::new(vec![Vec2::ZERO, Vec2::new(3.0, 0.0), Vec2::new(0.0, 3.0)]);
+        let c = t.centroid();
+        assert!(approx_eq(c.x, 1.0, 1e-12));
+        assert!(approx_eq(c.y, 1.0, 1e-12));
+    }
+
+    #[test]
+    fn hull_strips_interior_points() {
+        let hull = convex_hull(&[
+            Vec2::new(0.0, 0.0),
+            Vec2::new(4.0, 0.0),
+            Vec2::new(4.0, 4.0),
+            Vec2::new(0.0, 4.0),
+            Vec2::new(2.0, 2.0),
+            Vec2::new(1.0, 3.0),
+        ]);
+        assert_eq!(hull.len(), 4);
+        let hull_poly = Polygon::new(hull);
+        assert!(approx_eq(hull_poly.area(), 16.0, 1e-9));
+    }
+
+    #[test]
+    fn hull_of_collinear_points() {
+        let hull = convex_hull(&[
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(2.0, 2.0),
+        ]);
+        assert!(hull.len() <= 2);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let p: Polygon = [Vec2::ZERO, Vec2::X, Vec2::Y].into_iter().collect();
+        assert_eq!(p.len(), 3);
+    }
+}

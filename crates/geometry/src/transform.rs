@@ -1,0 +1,135 @@
+//! Rigid-body transforms (rotation + translation).
+
+use crate::{Mat3, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A rigid-body isometry in 3-D: `p ↦ R·p + t`.
+///
+/// Used for body→world poses of the drone and signaller, and for the camera
+/// extrinsics (world→camera).
+///
+/// # Example
+/// ```
+/// use hdc_geometry::{Iso3, Mat3, Vec3};
+/// let pose = Iso3::new(Mat3::rotation_z(std::f64::consts::FRAC_PI_2), Vec3::new(1.0, 0.0, 0.0));
+/// let p = pose.apply(Vec3::X);
+/// assert!((p.x - 1.0).abs() < 1e-12 && (p.y - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Iso3 {
+    rotation: Mat3,
+    translation: Vec3,
+}
+
+impl Iso3 {
+    /// The identity transform.
+    pub const IDENTITY: Iso3 = Iso3 {
+        rotation: Mat3::IDENTITY,
+        translation: Vec3::ZERO,
+    };
+
+    /// Creates a transform from a rotation and a translation.
+    pub fn new(rotation: Mat3, translation: Vec3) -> Self {
+        Iso3 { rotation, translation }
+    }
+
+    /// Pure translation.
+    pub fn from_translation(t: Vec3) -> Self {
+        Iso3::new(Mat3::IDENTITY, t)
+    }
+
+    /// Pure rotation.
+    pub fn from_rotation(r: Mat3) -> Self {
+        Iso3::new(r, Vec3::ZERO)
+    }
+
+    /// The rotation part.
+    pub fn rotation(&self) -> Mat3 {
+        self.rotation
+    }
+
+    /// The translation part.
+    pub fn translation(&self) -> Vec3 {
+        self.translation
+    }
+
+    /// Applies the transform to a point.
+    pub fn apply(&self, p: Vec3) -> Vec3 {
+        self.rotation * p + self.translation
+    }
+
+    /// Applies only the rotation (for directions, which ignore translation).
+    pub fn apply_direction(&self, d: Vec3) -> Vec3 {
+        self.rotation * d
+    }
+
+    /// Composition: `self ∘ other` (apply `other` first, then `self`).
+    pub fn compose(&self, other: &Iso3) -> Iso3 {
+        Iso3 {
+            rotation: self.rotation * other.rotation,
+            translation: self.rotation * other.translation + self.translation,
+        }
+    }
+
+    /// The inverse transform (assumes the rotation part is orthonormal).
+    pub fn inverse(&self) -> Iso3 {
+        let rt = self.rotation.transpose();
+        Iso3 {
+            rotation: rt,
+            translation: -(rt * self.translation),
+        }
+    }
+}
+
+impl Default for Iso3 {
+    fn default() -> Self {
+        Iso3::IDENTITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn assert_vec_eq(a: Vec3, b: Vec3) {
+        assert!(approx_eq(a.x, b.x, 1e-12), "{a} != {b}");
+        assert!(approx_eq(a.y, b.y, 1e-12), "{a} != {b}");
+        assert!(approx_eq(a.z, b.z, 1e-12), "{a} != {b}");
+    }
+
+    #[test]
+    fn identity_fixes_points() {
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        assert_vec_eq(Iso3::IDENTITY.apply(p), p);
+    }
+
+    #[test]
+    fn inverse_undoes_apply() {
+        let t = Iso3::new(
+            Mat3::rotation_z(0.4) * Mat3::rotation_x(1.2),
+            Vec3::new(1.0, -2.0, 0.5),
+        );
+        let p = Vec3::new(0.3, 0.7, -1.1);
+        assert_vec_eq(t.inverse().apply(t.apply(p)), p);
+        assert_vec_eq(t.apply(t.inverse().apply(p)), p);
+    }
+
+    #[test]
+    fn compose_applies_right_first() {
+        let rot = Iso3::from_rotation(Mat3::rotation_z(std::f64::consts::FRAC_PI_2));
+        let tr = Iso3::from_translation(Vec3::X);
+        // rotate then translate
+        let both = tr.compose(&rot);
+        assert_vec_eq(both.apply(Vec3::X), Vec3::new(1.0, 1.0, 0.0));
+        // translate then rotate
+        let both2 = rot.compose(&tr);
+        assert_vec_eq(both2.apply(Vec3::X), Vec3::new(0.0, 2.0, 0.0));
+    }
+
+    #[test]
+    fn directions_ignore_translation() {
+        let t = Iso3::from_translation(Vec3::new(10.0, 10.0, 10.0));
+        assert_vec_eq(t.apply_direction(Vec3::X), Vec3::X);
+    }
+}

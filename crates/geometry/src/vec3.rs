@@ -1,0 +1,257 @@
+//! Three-dimensional vectors.
+
+use crate::Vec2;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 3-D vector (or point) with `f64` components.
+///
+/// The workspace convention is a right-handed, z-up world frame: x east,
+/// y north, z up. Altitudes are therefore z values in metres.
+///
+/// # Example
+/// ```
+/// use hdc_geometry::Vec3;
+/// let v = Vec3::new(1.0, 2.0, 2.0);
+/// assert_eq!(v.norm(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// East component.
+    pub x: f64,
+    /// North component.
+    pub y: f64,
+    /// Up component (altitude).
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// Unit vector along x.
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit vector along y.
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit vector along z (up).
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Creates a vector from its components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Creates a vector with all components equal to `v`.
+    pub const fn splat(v: f64) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Embeds a planar vector at altitude `z`.
+    pub fn from_xy(xy: Vec2, z: f64) -> Self {
+        Vec3::new(xy.x, xy.y, z)
+    }
+
+    /// Projects onto the ground plane, dropping altitude.
+    pub fn xy(self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product (right-handed).
+    pub fn cross(self, other: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Euclidean length.
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean length.
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Distance to another point.
+    pub fn distance(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Horizontal (ground-plane) distance to another point.
+    pub fn horizontal_distance(self, other: Vec3) -> f64 {
+        self.xy().distance(other.xy())
+    }
+
+    /// Returns the unit vector in the same direction, or `None` for the zero
+    /// vector.
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n <= crate::EPS {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Component-wise linear interpolation toward `other`.
+    pub fn lerp(self, other: Vec3, t: f64) -> Vec3 {
+        self + (other - self) * t
+    }
+
+    /// Returns `true` when all components are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl MulAssign<f64> for Vec3 {
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    fn div(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl DivAssign<f64> for Vec3 {
+    fn div_assign(&mut self, rhs: f64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Sum for Vec3 {
+    fn sum<I: Iterator<Item = Vec3>>(iter: I) -> Vec3 {
+        iter.fold(Vec3::ZERO, |acc, v| acc + v)
+    }
+}
+
+impl From<(f64, f64, f64)> for Vec3 {
+    fn from((x, y, z): (f64, f64, f64)) -> Self {
+        Vec3::new(x, y, z)
+    }
+}
+
+impl From<Vec3> for (f64, f64, f64) {
+    fn from(v: Vec3) -> Self {
+        (v.x, v.y, v.z)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4}, {:.4})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-1.0, 0.5, 2.0);
+        assert_eq!(a + b, Vec3::new(0.0, 2.5, 5.0));
+        assert_eq!(a - b, Vec3::new(2.0, 1.5, 1.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+    }
+
+    #[test]
+    fn cross_follows_right_hand_rule() {
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::Z), Vec3::X);
+        assert_eq!(Vec3::Z.cross(Vec3::X), Vec3::Y);
+    }
+
+    #[test]
+    fn cross_is_orthogonal() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-2.0, 0.3, 1.4);
+        let c = a.cross(b);
+        assert!(approx_eq(c.dot(a), 0.0, 1e-12));
+        assert!(approx_eq(c.dot(b), 0.0, 1e-12));
+    }
+
+    #[test]
+    fn horizontal_distance_ignores_altitude() {
+        let a = Vec3::new(0.0, 0.0, 5.0);
+        let b = Vec3::new(3.0, 4.0, 1.0);
+        assert_eq!(a.horizontal_distance(b), 5.0);
+    }
+
+    #[test]
+    fn xy_embedding_roundtrip() {
+        let v = Vec3::from_xy(Vec2::new(2.0, -1.0), 7.0);
+        assert_eq!(v.xy(), Vec2::new(2.0, -1.0));
+        assert_eq!(v.z, 7.0);
+    }
+
+    #[test]
+    fn normalized_unit_length() {
+        let v = Vec3::new(2.0, -3.0, 6.0).normalized().unwrap();
+        assert!(approx_eq(v.norm(), 1.0, 1e-12));
+        assert!(Vec3::ZERO.normalized().is_none());
+    }
+}

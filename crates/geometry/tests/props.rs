@@ -1,0 +1,136 @@
+//! Property-based tests for the geometry substrate.
+
+use hdc_geometry::{
+    approx_eq, convex_hull, normalize_angle, signed_angle_diff, Aabb2, Iso3, Mat3, Polygon, Vec2,
+    Vec3,
+};
+use proptest::prelude::*;
+
+fn finite_f64(range: std::ops::Range<f64>) -> impl Strategy<Value = f64> {
+    prop::num::f64::NORMAL.prop_map(move |x| {
+        let span = range.end - range.start;
+        range.start + (x.abs() % span)
+    })
+}
+
+fn vec2_strategy() -> impl Strategy<Value = Vec2> {
+    (finite_f64(-100.0..100.0), finite_f64(-100.0..100.0)).prop_map(|(x, y)| Vec2::new(x, y))
+}
+
+fn vec3_strategy() -> impl Strategy<Value = Vec3> {
+    (
+        finite_f64(-100.0..100.0),
+        finite_f64(-100.0..100.0),
+        finite_f64(-100.0..100.0),
+    )
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #[test]
+    fn vec2_rotation_preserves_norm(v in vec2_strategy(), angle in finite_f64(-10.0..10.0)) {
+        let r = v.rotated(angle);
+        prop_assert!(approx_eq(r.norm(), v.norm(), 1e-6 * (1.0 + v.norm())));
+    }
+
+    #[test]
+    fn vec2_dot_is_commutative(a in vec2_strategy(), b in vec2_strategy()) {
+        prop_assert_eq!(a.dot(b), b.dot(a));
+    }
+
+    #[test]
+    fn vec2_cross_antisymmetric(a in vec2_strategy(), b in vec2_strategy()) {
+        prop_assert!(approx_eq(a.cross(b), -b.cross(a), 1e-6));
+    }
+
+    #[test]
+    fn vec3_cross_orthogonal(a in vec3_strategy(), b in vec3_strategy()) {
+        let c = a.cross(b);
+        let scale = a.norm() * b.norm() + 1.0;
+        prop_assert!(approx_eq(c.dot(a), 0.0, 1e-6 * scale * scale));
+        prop_assert!(approx_eq(c.dot(b), 0.0, 1e-6 * scale * scale));
+    }
+
+    #[test]
+    fn triangle_inequality(a in vec3_strategy(), b in vec3_strategy()) {
+        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
+    }
+
+    #[test]
+    fn angle_normalization_in_range(a in finite_f64(-50.0..50.0)) {
+        let n = normalize_angle(a);
+        prop_assert!(n > -std::f64::consts::PI - 1e-12);
+        prop_assert!(n <= std::f64::consts::PI + 1e-12);
+        // normalisation preserves the angle modulo 2π
+        prop_assert!(approx_eq((a - n).rem_euclid(std::f64::consts::TAU), 0.0, 1e-6)
+            || approx_eq((a - n).rem_euclid(std::f64::consts::TAU), std::f64::consts::TAU, 1e-6));
+    }
+
+    #[test]
+    fn angle_diff_bounded(a in finite_f64(-10.0..10.0), b in finite_f64(-10.0..10.0)) {
+        let d = signed_angle_diff(a, b);
+        prop_assert!(d.abs() <= std::f64::consts::PI + 1e-12);
+    }
+
+    #[test]
+    fn rotation_matrices_are_rotations(ax in finite_f64(-5.0..5.0), ay in finite_f64(-5.0..5.0), az in finite_f64(-5.0..5.0)) {
+        let r = Mat3::rotation_z(az) * Mat3::rotation_y(ay) * Mat3::rotation_x(ax);
+        prop_assert!(r.is_rotation(1e-9));
+    }
+
+    #[test]
+    fn iso3_inverse_roundtrip(t in vec3_strategy(), angle in finite_f64(-5.0..5.0), p in vec3_strategy()) {
+        let iso = Iso3::new(Mat3::rotation_z(angle), t);
+        let back = iso.inverse().apply(iso.apply(p));
+        prop_assert!(back.distance(p) < 1e-6 * (1.0 + p.norm() + t.norm()));
+    }
+
+    #[test]
+    fn aabb_contains_its_points(pts in prop::collection::vec(vec2_strategy(), 1..20)) {
+        let b = Aabb2::from_points(pts.iter().copied()).unwrap();
+        for p in &pts {
+            prop_assert!(b.contains(*p));
+        }
+    }
+
+    #[test]
+    fn polygon_translation_preserves_area(
+        pts in prop::collection::vec(vec2_strategy(), 3..12),
+        delta in vec2_strategy(),
+    ) {
+        let poly = Polygon::new(pts);
+        let moved = poly.translated(delta);
+        prop_assert!(approx_eq(poly.area(), moved.area(), 1e-6 * (1.0 + poly.area())));
+    }
+
+    #[test]
+    fn polygon_rotation_preserves_perimeter(
+        pts in prop::collection::vec(vec2_strategy(), 3..12),
+        angle in finite_f64(-5.0..5.0),
+    ) {
+        let poly = Polygon::new(pts);
+        let turned = poly.rotated_about(Vec2::ZERO, angle);
+        prop_assert!(approx_eq(poly.perimeter(), turned.perimeter(), 1e-6 * (1.0 + poly.perimeter())));
+    }
+
+    #[test]
+    fn convex_hull_is_convex_and_contains_points(pts in prop::collection::vec(vec2_strategy(), 3..30)) {
+        let hull = convex_hull(&pts);
+        if hull.len() >= 3 {
+            let poly = Polygon::new(hull.clone());
+            prop_assert!(poly.is_convex());
+            // every input point is inside or on the hull's (slightly expanded) bounds
+            let grown = poly.scaled_about(poly.centroid(), 1.0 + 1e-9);
+            for p in &pts {
+                let inside = grown.contains(*p)
+                    || hull.iter().any(|h| h.distance(*p) < 1e-6)
+                    || poly.edges().any(|(a, b)| {
+                        let ab = b - a;
+                        let t = ((*p - a).dot(ab) / ab.norm_sq()).clamp(0.0, 1.0);
+                        (a + ab * t).distance(*p) < 1e-6
+                    });
+                prop_assert!(inside, "point {p} escaped its convex hull");
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! A small discrete-event queue used by the mission scheduler.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled simulation event.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScheduledEvent {
+    /// Begin travelling to the trap with this id.
+    VisitTrap(u32),
+    /// Human actor `id` re-plans its patrol.
+    HumanReplan(u32),
+    /// Mission progress checkpoint (battery / abort checks).
+    Checkpoint,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    time: f64,
+    seq: u64,
+    event: ScheduledEvent,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reversed: BinaryHeap is a max-heap, we want earliest first;
+        // ties broken by insertion order for determinism
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// # Example
+/// ```
+/// use hdc_orchard::{EventQueue, ScheduledEvent};
+/// let mut q = EventQueue::new();
+/// q.schedule(2.0, ScheduledEvent::Checkpoint);
+/// q.schedule(1.0, ScheduledEvent::VisitTrap(0));
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!(t, 1.0);
+/// assert_eq!(e, ScheduledEvent::VisitTrap(0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules an event at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is not finite.
+    pub fn schedule(&mut self, time: f64, event: ScheduledEvent) {
+        assert!(time.is_finite(), "event time must be finite");
+        self.heap.push(Entry { time, seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(f64, ScheduledEvent)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ScheduledEvent::Checkpoint);
+        q.schedule(1.0, ScheduledEvent::VisitTrap(1));
+        q.schedule(3.0, ScheduledEvent::VisitTrap(2));
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn ties_broken_by_insertion() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, ScheduledEvent::VisitTrap(1));
+        q.schedule(1.0, ScheduledEvent::VisitTrap(2));
+        assert_eq!(q.pop().unwrap().1, ScheduledEvent::VisitTrap(1));
+        assert_eq!(q.pop().unwrap().1, ScheduledEvent::VisitTrap(2));
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(2.0, ScheduledEvent::Checkpoint);
+        assert_eq!(q.peek_time(), Some(2.0));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinite_time_rejected() {
+        EventQueue::new().schedule(f64::NAN, ScheduledEvent::Checkpoint);
+    }
+}

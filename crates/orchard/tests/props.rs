@@ -1,0 +1,75 @@
+//! Property-based tests for the orchard simulation.
+
+use hdc_geometry::Vec2;
+use hdc_orchard::{
+    run_fleet, EventQueue, FleetConfig, Mission, MissionConfig, OrchardMap, ScheduledEvent,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0.0f64..1000.0, 1..50)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(*t, ScheduledEvent::VisitTrap(i as u32));
+        }
+        prop_assert_eq!(q.len(), times.len());
+        let mut prev = f64::NEG_INFINITY;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= prev, "queue must pop in time order");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn tour_is_a_permutation(rows in 1u32..6, cols in 1u32..6, sx in 1.0f64..8.0, sy in 1.0f64..8.0) {
+        let map = OrchardMap::grid(rows, cols, sx, sy);
+        let tour = map.plan_tour(Vec2::ZERO);
+        let n = (rows * cols) as usize;
+        prop_assert_eq!(tour.len(), n);
+        let mut seen = vec![false; n];
+        for id in tour {
+            prop_assert!(!seen[id as usize], "trap visited twice");
+            seen[id as usize] = true;
+        }
+    }
+
+    #[test]
+    fn missions_account_for_every_trap(
+        rows in 1u32..4,
+        cols in 1u32..4,
+        people in 0u32..6,
+        seed in 0u64..50,
+    ) {
+        let map = OrchardMap::grid(rows, cols, 4.0, 3.0);
+        let mut cfg = MissionConfig::default();
+        cfg.human_count = people;
+        let stats = Mission::new(cfg, map, seed).run();
+        prop_assert_eq!(stats.traps_read + stats.traps_skipped, rows * cols);
+        prop_assert!(stats.mission_time_s > 0.0);
+        prop_assert!(stats.energy_wh > 0.0);
+        prop_assert!(stats.negotiations.grant_rate() >= 0.0);
+        prop_assert!(stats.negotiations.grant_rate() <= 1.0);
+    }
+
+    #[test]
+    fn missions_are_deterministic(seed in 0u64..30) {
+        let run = || {
+            let map = OrchardMap::grid(3, 3, 4.0, 3.0);
+            let mut cfg = MissionConfig::default();
+            cfg.human_count = 3;
+            Mission::new(cfg, map, seed).run()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fleets_cover_every_trap(drones in 1u32..6, seed in 0u64..20) {
+        let map = OrchardMap::grid(3, 4, 4.0, 3.0);
+        let mission = MissionConfig { human_count: 0, ..Default::default() };
+        let stats = run_fleet(FleetConfig { drone_count: drones, mission }, &map, seed);
+        prop_assert_eq!(stats.traps_read, 12);
+        prop_assert!(stats.makespan_s > 0.0);
+        prop_assert!(stats.per_drone.len() <= drones as usize);
+    }
+}

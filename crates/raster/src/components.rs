@@ -1,0 +1,196 @@
+//! Connected-component labelling.
+
+use crate::image::{Bitmap, Image};
+use hdc_geometry::Vec2;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Pixel connectivity for component labelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Connectivity {
+    /// Edge-adjacent neighbours only.
+    Four,
+    /// Edge- and corner-adjacent neighbours.
+    Eight,
+}
+
+impl Connectivity {
+    fn offsets(self) -> &'static [(i64, i64)] {
+        match self {
+            Connectivity::Four => &[(1, 0), (-1, 0), (0, 1), (0, -1)],
+            Connectivity::Eight => &[
+                (1, 0),
+                (-1, 0),
+                (0, 1),
+                (0, -1),
+                (1, 1),
+                (1, -1),
+                (-1, 1),
+                (-1, -1),
+            ],
+        }
+    }
+}
+
+/// A labelled connected component of foreground pixels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Component {
+    /// 1-based label as written into the label image.
+    pub label: u32,
+    /// Number of pixels.
+    pub area: usize,
+    /// Pixel-centroid of the component.
+    pub centroid: Vec2,
+    /// Inclusive bounding box `(min_x, min_y, max_x, max_y)`.
+    pub bbox: (u32, u32, u32, u32),
+}
+
+impl Component {
+    /// Bounding-box width in pixels.
+    pub fn width(&self) -> u32 {
+        self.bbox.2 - self.bbox.0 + 1
+    }
+
+    /// Bounding-box height in pixels.
+    pub fn height(&self) -> u32 {
+        self.bbox.3 - self.bbox.1 + 1
+    }
+}
+
+/// Labels all foreground components with breadth-first flood fill.
+///
+/// Returns the label image (0 = background, labels start at 1) and per-label
+/// statistics ordered by label.
+///
+/// # Example
+/// ```
+/// use hdc_raster::{Bitmap, label_components, Connectivity};
+/// let mut mask = Bitmap::new(5, 5);
+/// mask.set(0, 0, true);
+/// mask.set(4, 4, true);
+/// let (_labels, comps) = label_components(&mask, Connectivity::Four);
+/// assert_eq!(comps.len(), 2);
+/// ```
+pub fn label_components(mask: &Bitmap, conn: Connectivity) -> (Image<u32>, Vec<Component>) {
+    let w = mask.width();
+    let h = mask.height();
+    let mut labels: Image<u32> = Image::new(w, h);
+    let mut comps = Vec::new();
+    let mut next = 1u32;
+    let mut queue: VecDeque<(u32, u32)> = VecDeque::new();
+
+    for y in 0..h {
+        for x in 0..w {
+            if mask.get(x, y) != Some(true) || labels.get(x, y) != Some(0) {
+                continue;
+            }
+            // flood fill a new component
+            let label = next;
+            next += 1;
+            labels.set(x, y, label);
+            queue.push_back((x, y));
+            let mut area = 0usize;
+            let mut sum = Vec2::ZERO;
+            let mut bbox = (x, y, x, y);
+            while let Some((cx, cy)) = queue.pop_front() {
+                area += 1;
+                sum += Vec2::new(cx as f64, cy as f64);
+                bbox.0 = bbox.0.min(cx);
+                bbox.1 = bbox.1.min(cy);
+                bbox.2 = bbox.2.max(cx);
+                bbox.3 = bbox.3.max(cy);
+                for (dx, dy) in conn.offsets() {
+                    let nx = cx as i64 + dx;
+                    let ny = cy as i64 + dy;
+                    if nx < 0 || ny < 0 {
+                        continue;
+                    }
+                    let (nx, ny) = (nx as u32, ny as u32);
+                    if mask.get(nx, ny) == Some(true) && labels.get(nx, ny) == Some(0) {
+                        labels.set(nx, ny, label);
+                        queue.push_back((nx, ny));
+                    }
+                }
+            }
+            comps.push(Component {
+                label,
+                area,
+                centroid: sum / area as f64,
+                bbox,
+            });
+        }
+    }
+    (labels, comps)
+}
+
+/// Extracts the largest foreground component as a fresh mask.
+///
+/// Returns `None` when the mask has no foreground at all. This implements the
+/// pipeline's assumption that the signaller is the dominant blob in frame.
+pub fn largest_component(mask: &Bitmap, conn: Connectivity) -> Option<(Bitmap, Component)> {
+    let (labels, comps) = label_components(mask, conn);
+    let biggest = comps.into_iter().max_by_key(|c| c.area)?;
+    let out = labels.map(|l| l == biggest.label);
+    Some((out, biggest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask_from_rows(rows: &[&str]) -> Bitmap {
+        let h = rows.len() as u32;
+        let w = rows[0].len() as u32;
+        let mut m = Bitmap::new(w, h);
+        for (y, row) in rows.iter().enumerate() {
+            for (x, c) in row.chars().enumerate() {
+                m.set(x as u32, y as u32, c == '#');
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn single_blob() {
+        let m = mask_from_rows(&["....", ".##.", ".##.", "...."]);
+        let (labels, comps) = label_components(&m, Connectivity::Four);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].area, 4);
+        assert_eq!(comps[0].centroid, Vec2::new(1.5, 1.5));
+        assert_eq!(comps[0].bbox, (1, 1, 2, 2));
+        assert_eq!(labels.get(1, 1), Some(1));
+        assert_eq!(labels.get(0, 0), Some(0));
+    }
+
+    #[test]
+    fn diagonal_blobs_depend_on_connectivity() {
+        let m = mask_from_rows(&["#.", ".#"]);
+        let (_, four) = label_components(&m, Connectivity::Four);
+        assert_eq!(four.len(), 2);
+        let (_, eight) = label_components(&m, Connectivity::Eight);
+        assert_eq!(eight.len(), 1);
+    }
+
+    #[test]
+    fn largest_selected() {
+        let m = mask_from_rows(&["##....", "##....", "......", "....#."]);
+        let (mask, comp) = largest_component(&m, Connectivity::Four).unwrap();
+        assert_eq!(comp.area, 4);
+        assert_eq!(mask.count_foreground(), 4);
+        assert_eq!(mask.get(4, 3), Some(false), "small blob removed");
+    }
+
+    #[test]
+    fn empty_mask_has_no_largest() {
+        let m = Bitmap::new(3, 3);
+        assert!(largest_component(&m, Connectivity::Eight).is_none());
+    }
+
+    #[test]
+    fn component_dimensions() {
+        let m = mask_from_rows(&["###", "..."]);
+        let (_, comps) = label_components(&m, Connectivity::Four);
+        assert_eq!(comps[0].width(), 3);
+        assert_eq!(comps[0].height(), 1);
+    }
+}

@@ -1,0 +1,270 @@
+//! Moore-neighbour contour tracing.
+//!
+//! The recognition pipeline converts the signaller's silhouette boundary into
+//! a centroid-distance time series (per the paper's SAX-on-shapes approach),
+//! so an ordered outer boundary is required — a bag of edge pixels is not
+//! enough. Moore-neighbour tracing with Jacob's stopping criterion yields the
+//! boundary as a closed, ordered pixel sequence.
+
+use crate::image::Bitmap;
+use hdc_geometry::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// One point of a traced contour, in pixel coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ContourPoint {
+    /// Column.
+    pub x: u32,
+    /// Row.
+    pub y: u32,
+}
+
+impl ContourPoint {
+    /// Converts to a float vector (pixel centre).
+    pub fn to_vec2(self) -> Vec2 {
+        Vec2::new(self.x as f64, self.y as f64)
+    }
+}
+
+/// Clockwise Moore neighbourhood starting west: W, NW, N, NE, E, SE, S, SW.
+const MOORE: [(i64, i64); 8] = [
+    (-1, 0),
+    (-1, -1),
+    (0, -1),
+    (1, -1),
+    (1, 0),
+    (1, 1),
+    (0, 1),
+    (-1, 1),
+];
+
+/// Traces the outer boundary of the first (row-major) foreground blob.
+///
+/// Returns the ordered, closed boundary as pixel coordinates, or `None` when
+/// the mask is entirely background. An isolated single pixel yields a
+/// one-point contour.
+///
+/// The caller is expected to have isolated the blob of interest first (see
+/// [`crate::largest_component`]); if several blobs exist, the one whose
+/// top-most/left-most pixel comes first in row-major order is traced.
+///
+/// # Example
+/// ```
+/// use hdc_raster::{Bitmap, trace_outer_contour};
+/// let mut m = Bitmap::new(5, 5);
+/// for y in 1..4 { for x in 1..4 { m.set(x, y, true); } }
+/// let c = trace_outer_contour(&m).unwrap();
+/// assert_eq!(c.len(), 8); // 3×3 square boundary
+/// ```
+pub fn trace_outer_contour(mask: &Bitmap) -> Option<Vec<ContourPoint>> {
+    let fg = |x: i64, y: i64| mask.get_padded(x, y);
+
+    // Row-major scan for the start pixel; everything before it is background,
+    // so its west neighbour is guaranteed background.
+    let mut start = None;
+    'scan: for y in 0..mask.height() {
+        for x in 0..mask.width() {
+            if mask.get(x, y) == Some(true) {
+                start = Some((x as i64, y as i64));
+                break 'scan;
+            }
+        }
+    }
+    let (sx, sy) = start?;
+
+    let mut contour = vec![ContourPoint { x: sx as u32, y: sy as u32 }];
+    // Backtrack begins at the west neighbour (index 0 in MOORE).
+    let mut cur = (sx, sy);
+    let mut backtrack_idx = 0usize;
+    // Termination (Jacob's criterion, transition form): stop when the move
+    // out of the current pixel reproduces the very first move's resulting
+    // state `(pixel, backtrack)` — i.e. the walk has started repeating.
+    let mut first_move_state: Option<((i64, i64), usize)> = None;
+    let max_steps = 4 * mask.pixel_count() + 8;
+
+    for _ in 0..max_steps {
+        // Scan clockwise from just after the backtrack direction.
+        let mut found = None;
+        for k in 1..=8 {
+            let idx = (backtrack_idx + k) % 8;
+            let (dx, dy) = MOORE[idx];
+            let n = (cur.0 + dx, cur.1 + dy);
+            if fg(n.0, n.1) {
+                found = Some((n, (backtrack_idx + k - 1) % 8));
+                break;
+            }
+        }
+        let Some((next, prev_bg_idx)) = found else {
+            // isolated pixel
+            return Some(contour);
+        };
+        // New backtrack: direction from `next` to the background pixel we
+        // examined immediately before finding `next`.
+        let (pdx, pdy) = MOORE[prev_bg_idx];
+        let prev_bg = (cur.0 + pdx, cur.1 + pdy);
+        let rel = (prev_bg.0 - next.0, prev_bg.1 - next.1);
+        let new_backtrack = MOORE
+            .iter()
+            .position(|d| *d == rel)
+            .expect("background neighbour is Moore-adjacent to next pixel");
+
+        let new_state = (next, new_backtrack);
+        match first_move_state {
+            None => first_move_state = Some(new_state),
+            Some(first) if first == new_state => break,
+            Some(_) => {}
+        }
+
+        cur = next;
+        backtrack_idx = new_backtrack;
+        contour.push(ContourPoint { x: cur.0 as u32, y: cur.1 as u32 });
+    }
+    // The loop closes back at the start; drop the duplicated start point if present.
+    if contour.len() > 1 && contour.last() == contour.first() {
+        contour.pop();
+    }
+    Some(contour)
+}
+
+/// Computes the perimeter length of a closed contour (Euclidean, with √2 for
+/// diagonal steps).
+pub fn contour_perimeter(contour: &[ContourPoint]) -> f64 {
+    if contour.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..contour.len() {
+        let a = contour[i].to_vec2();
+        let b = contour[(i + 1) % contour.len()].to_vec2();
+        total += a.distance(b);
+    }
+    total
+}
+
+/// Centroid of the contour points.
+pub fn contour_centroid(contour: &[ContourPoint]) -> Option<Vec2> {
+    if contour.is_empty() {
+        return None;
+    }
+    Some(contour.iter().map(|p| p.to_vec2()).sum::<Vec2>() / contour.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::draw;
+    use crate::image::GrayImage;
+    use crate::threshold::binarize;
+
+    fn disk_mask(r: f64) -> Bitmap {
+        let size = (2.0 * r + 10.0) as u32;
+        let mut img = GrayImage::new(size, size);
+        draw::fill_disk(
+            &mut img,
+            Vec2::new(size as f64 / 2.0, size as f64 / 2.0),
+            r,
+            255,
+        );
+        binarize(&img, 128)
+    }
+
+    #[test]
+    fn empty_mask_yields_none() {
+        assert!(trace_outer_contour(&Bitmap::new(4, 4)).is_none());
+    }
+
+    #[test]
+    fn single_pixel_contour() {
+        let mut m = Bitmap::new(3, 3);
+        m.set(1, 1, true);
+        let c = trace_outer_contour(&m).unwrap();
+        assert_eq!(c, vec![ContourPoint { x: 1, y: 1 }]);
+    }
+
+    #[test]
+    fn square_boundary_is_closed_ring() {
+        let mut m = Bitmap::new(6, 6);
+        for y in 1..5 {
+            for x in 1..5 {
+                m.set(x, y, true);
+            }
+        }
+        let c = trace_outer_contour(&m).unwrap();
+        // 4×4 square: boundary has 12 pixels
+        assert_eq!(c.len(), 12);
+        // all contour points are foreground and touch background
+        for p in &c {
+            assert_eq!(m.get(p.x, p.y), Some(true));
+        }
+        // consecutive points are Moore-adjacent
+        for i in 0..c.len() {
+            let a = c[i];
+            let b = c[(i + 1) % c.len()];
+            let dx = (a.x as i64 - b.x as i64).abs();
+            let dy = (a.y as i64 - b.y as i64).abs();
+            assert!(dx <= 1 && dy <= 1 && (dx + dy) > 0, "gap between {a:?} and {b:?}");
+        }
+    }
+
+    #[test]
+    fn disk_contour_matches_circumference() {
+        let c = trace_outer_contour(&disk_mask(20.0)).unwrap();
+        let per = contour_perimeter(&c);
+        let expected = std::f64::consts::TAU * 20.0;
+        assert!(
+            (per - expected).abs() / expected < 0.15,
+            "perimeter {per} vs circle {expected}"
+        );
+    }
+
+    #[test]
+    fn contour_centroid_near_disk_center() {
+        let mask = disk_mask(15.0);
+        let c = trace_outer_contour(&mask).unwrap();
+        let centroid = contour_centroid(&c).unwrap();
+        let center = Vec2::new(mask.width() as f64 / 2.0, mask.height() as f64 / 2.0);
+        assert!(centroid.distance(center) < 1.5, "centroid {centroid} vs {center}");
+    }
+
+    #[test]
+    fn blob_touching_border_traces_without_panic() {
+        let mut m = Bitmap::new(5, 5);
+        for y in 0..5 {
+            for x in 0..3 {
+                m.set(x, y, true);
+            }
+        }
+        let c = trace_outer_contour(&m).unwrap();
+        assert!(c.len() >= 12);
+    }
+
+    #[test]
+    fn concave_shape_traced_fully() {
+        // A "U" shape: contour must walk into the cavity
+        let mut m = Bitmap::new(7, 7);
+        for y in 1..6 {
+            for x in 1..6 {
+                m.set(x, y, true);
+            }
+        }
+        for y in 1..5 {
+            m.set(3, y, false); // carve the slot
+        }
+        let c = trace_outer_contour(&m).unwrap();
+        // Boundary must include pixels on both sides of the slot at its bottom
+        assert!(c.iter().any(|p| p.x == 2 && p.y == 1));
+        assert!(c.iter().any(|p| p.x == 4 && p.y == 1));
+        assert!(c.len() > 16);
+    }
+
+    #[test]
+    fn one_pixel_wide_line_traced() {
+        let mut m = Bitmap::new(8, 3);
+        for x in 1..7 {
+            m.set(x, 1, true);
+        }
+        let c = trace_outer_contour(&m).unwrap();
+        // the trace goes out and back along the line: 2*(6-1) points
+        assert_eq!(c.len(), 10);
+    }
+}

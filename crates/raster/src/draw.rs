@@ -1,0 +1,216 @@
+//! Rasterisation of the primitives the silhouette renderer needs.
+
+use crate::image::Image;
+use hdc_geometry::{Polygon, Vec2};
+
+/// Fills a solid disk centred at `center` with the given pixel `value`.
+///
+/// Pixels are treated as unit squares sampled at their centres.
+///
+/// # Example
+/// ```
+/// use hdc_raster::{GrayImage, draw};
+/// use hdc_geometry::Vec2;
+/// let mut img = GrayImage::new(16, 16);
+/// draw::fill_disk(&mut img, Vec2::new(8.0, 8.0), 3.0, 255);
+/// assert_eq!(img.get(8, 8), Some(255));
+/// assert_eq!(img.get(0, 0), Some(0));
+/// ```
+pub fn fill_disk<T: Copy + Default>(img: &mut Image<T>, center: Vec2, radius: f64, value: T) {
+    if radius <= 0.0 {
+        return;
+    }
+    let x0 = ((center.x - radius).floor().max(0.0)) as u32;
+    let x1 = ((center.x + radius).ceil().min(img.width() as f64 - 1.0)).max(0.0) as u32;
+    let y0 = ((center.y - radius).floor().max(0.0)) as u32;
+    let y1 = ((center.y + radius).ceil().min(img.height() as f64 - 1.0)).max(0.0) as u32;
+    let r_sq = radius * radius;
+    for y in y0..=y1 {
+        for x in x0..=x1 {
+            let p = Vec2::new(x as f64 + 0.5, y as f64 + 0.5);
+            if (p - center).norm_sq() <= r_sq {
+                img.set(x, y, value);
+            }
+        }
+    }
+}
+
+/// Fills a tapered capsule: segment `a`→`b` with linearly interpolated radii.
+///
+/// This is the projected image of a 3-D capsule limb: the end nearer the
+/// camera appears thicker. Radii are in pixels.
+pub fn fill_tapered_capsule<T: Copy + Default>(
+    img: &mut Image<T>,
+    a: Vec2,
+    radius_a: f64,
+    b: Vec2,
+    radius_b: f64,
+    value: T,
+) {
+    let r_max = radius_a.max(radius_b).max(0.0);
+    let lo = a.min(b) - Vec2::splat(r_max);
+    let hi = a.max(b) + Vec2::splat(r_max);
+    let x0 = lo.x.floor().max(0.0) as u32;
+    let y0 = lo.y.floor().max(0.0) as u32;
+    let x1 = (hi.x.ceil().min(img.width() as f64 - 1.0)).max(0.0) as u32;
+    let y1 = (hi.y.ceil().min(img.height() as f64 - 1.0)).max(0.0) as u32;
+    let ab = b - a;
+    let len_sq = ab.norm_sq();
+    for y in y0..=y1 {
+        for x in x0..=x1 {
+            let p = Vec2::new(x as f64 + 0.5, y as f64 + 0.5);
+            let t = if len_sq <= 1e-12 {
+                0.0
+            } else {
+                ((p - a).dot(ab) / len_sq).clamp(0.0, 1.0)
+            };
+            let closest = a + ab * t;
+            let r = radius_a + (radius_b - radius_a) * t;
+            if (p - closest).norm_sq() <= r * r {
+                img.set(x, y, value);
+            }
+        }
+    }
+}
+
+/// Scanline-fills a polygon (even-odd rule).
+pub fn fill_polygon<T: Copy + Default>(img: &mut Image<T>, poly: &Polygon, value: T) {
+    let Some(bb) = poly.aabb() else { return };
+    let y0 = bb.min().y.floor().max(0.0) as u32;
+    let y1 = (bb.max().y.ceil().min(img.height() as f64 - 1.0)).max(0.0) as u32;
+    let verts = poly.vertices();
+    let n = verts.len();
+    if n < 3 {
+        return;
+    }
+    for y in y0..=y1 {
+        let yc = y as f64 + 0.5;
+        let mut xs: Vec<f64> = Vec::new();
+        for i in 0..n {
+            let p = verts[i];
+            let q = verts[(i + 1) % n];
+            if (p.y > yc) != (q.y > yc) {
+                let t = (yc - p.y) / (q.y - p.y);
+                xs.push(p.x + t * (q.x - p.x));
+            }
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for pair in xs.chunks_exact(2) {
+            let xa = pair[0].ceil().max(0.0) as u32;
+            let xb = pair[1].floor().min(img.width() as f64 - 1.0).max(0.0) as u32;
+            for x in xa..=xb {
+                if (x as f64 + 0.5) >= pair[0] && (x as f64 + 0.5) <= pair[1] {
+                    img.set(x, y, value);
+                }
+            }
+        }
+    }
+}
+
+/// Draws a 1-pixel line with Bresenham's algorithm.
+pub fn draw_line<T: Copy + Default>(img: &mut Image<T>, a: Vec2, b: Vec2, value: T) {
+    let mut x0 = a.x.round() as i64;
+    let mut y0 = a.y.round() as i64;
+    let x1 = b.x.round() as i64;
+    let y1 = b.y.round() as i64;
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    loop {
+        if x0 >= 0 && y0 >= 0 {
+            img.set(x0 as u32, y0 as u32, value);
+        }
+        if x0 == x1 && y0 == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x0 += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y0 += sy;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::GrayImage;
+
+    #[test]
+    fn disk_area_close_to_pi_r_squared() {
+        let mut img = GrayImage::new(100, 100);
+        fill_disk(&mut img, Vec2::new(50.0, 50.0), 20.0, 255);
+        let area = img.pixels().iter().filter(|p| **p > 0).count() as f64;
+        let expected = std::f64::consts::PI * 400.0;
+        assert!((area - expected).abs() / expected < 0.05, "area {area} vs {expected}");
+    }
+
+    #[test]
+    fn disk_clips_at_border() {
+        let mut img = GrayImage::new(10, 10);
+        fill_disk(&mut img, Vec2::new(0.0, 0.0), 5.0, 255);
+        assert_eq!(img.get(0, 0), Some(255));
+        // no panic, nothing outside written
+    }
+
+    #[test]
+    fn zero_radius_disk_draws_nothing() {
+        let mut img = GrayImage::new(10, 10);
+        fill_disk(&mut img, Vec2::new(5.0, 5.0), 0.0, 255);
+        assert!(img.pixels().iter().all(|p| *p == 0));
+    }
+
+    #[test]
+    fn capsule_covers_both_ends() {
+        let mut img = GrayImage::new(60, 30);
+        fill_tapered_capsule(&mut img, Vec2::new(10.0, 15.0), 5.0, Vec2::new(50.0, 15.0), 2.0, 255);
+        assert_eq!(img.get(10, 15), Some(255));
+        assert_eq!(img.get(50, 15), Some(255));
+        assert_eq!(img.get(30, 15), Some(255));
+        // taper: thicker end covers (10,19), thin end does not cover (50,19)
+        assert_eq!(img.get(10, 19), Some(255));
+        assert_eq!(img.get(50, 19), Some(0));
+    }
+
+    #[test]
+    fn degenerate_capsule_is_disk() {
+        let mut img = GrayImage::new(20, 20);
+        fill_tapered_capsule(&mut img, Vec2::new(10.0, 10.0), 4.0, Vec2::new(10.0, 10.0), 4.0, 255);
+        assert_eq!(img.get(10, 10), Some(255));
+        assert!(img.pixels().iter().filter(|p| **p > 0).count() > 30);
+    }
+
+    #[test]
+    fn polygon_fill_rectangle() {
+        let mut img = GrayImage::new(20, 20);
+        let rect = Polygon::rectangle(Vec2::new(5.0, 5.0), Vec2::new(15.0, 10.0));
+        fill_polygon(&mut img, &rect, 255);
+        assert_eq!(img.get(10, 7), Some(255));
+        assert_eq!(img.get(4, 7), Some(0));
+        assert_eq!(img.get(10, 12), Some(0));
+        let count = img.pixels().iter().filter(|p| **p > 0).count();
+        assert!((40..=60).contains(&count), "count {count}");
+    }
+
+    #[test]
+    fn line_endpoints_set() {
+        let mut img = GrayImage::new(20, 20);
+        draw_line(&mut img, Vec2::new(2.0, 3.0), Vec2::new(17.0, 12.0), 255);
+        assert_eq!(img.get(2, 3), Some(255));
+        assert_eq!(img.get(17, 12), Some(255));
+        assert!(img.pixels().iter().filter(|p| **p > 0).count() >= 15);
+    }
+
+    #[test]
+    fn tiny_polygon_is_ignored() {
+        let mut img = GrayImage::new(10, 10);
+        fill_polygon(&mut img, &Polygon::new(vec![Vec2::new(1.0, 1.0)]), 255);
+        assert!(img.pixels().iter().all(|p| *p == 0));
+    }
+}

@@ -1,0 +1,125 @@
+//! Binary morphology with a 3×3 square structuring element.
+
+use crate::image::Bitmap;
+
+fn neighbourhood_all(mask: &Bitmap, x: i64, y: i64) -> bool {
+    for dy in -1..=1 {
+        for dx in -1..=1 {
+            if !mask.get_padded(x + dx, y + dy) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn neighbourhood_any(mask: &Bitmap, x: i64, y: i64) -> bool {
+    for dy in -1..=1 {
+        for dx in -1..=1 {
+            if mask.get_padded(x + dx, y + dy) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Erosion: a pixel survives only if its whole 3×3 neighbourhood is foreground.
+///
+/// Outside-image pixels count as background, so blobs touching the border erode
+/// there too.
+pub fn erode(mask: &Bitmap) -> Bitmap {
+    let mut out = Bitmap::new(mask.width(), mask.height());
+    for y in 0..mask.height() {
+        for x in 0..mask.width() {
+            out.set(x, y, neighbourhood_all(mask, x as i64, y as i64));
+        }
+    }
+    out
+}
+
+/// Dilation: a pixel becomes foreground if any 3×3 neighbour is foreground.
+pub fn dilate(mask: &Bitmap) -> Bitmap {
+    let mut out = Bitmap::new(mask.width(), mask.height());
+    for y in 0..mask.height() {
+        for x in 0..mask.width() {
+            out.set(x, y, neighbourhood_any(mask, x as i64, y as i64));
+        }
+    }
+    out
+}
+
+/// Opening (erode then dilate): removes speckle smaller than the kernel.
+pub fn open(mask: &Bitmap) -> Bitmap {
+    dilate(&erode(mask))
+}
+
+/// Closing (dilate then erode): fills pinholes smaller than the kernel.
+pub fn close(mask: &Bitmap) -> Bitmap {
+    erode(&dilate(mask))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask_from_rows(rows: &[&str]) -> Bitmap {
+        let h = rows.len() as u32;
+        let w = rows[0].len() as u32;
+        let mut m = Bitmap::new(w, h);
+        for (y, row) in rows.iter().enumerate() {
+            for (x, c) in row.chars().enumerate() {
+                m.set(x as u32, y as u32, c == '#');
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn erosion_shrinks() {
+        let m = mask_from_rows(&["#####", "#####", "#####", "#####", "#####"]);
+        let e = erode(&m);
+        assert_eq!(e.count_foreground(), 9, "5×5 erodes to 3×3");
+        assert_eq!(e.get(2, 2), Some(true));
+        assert_eq!(e.get(0, 0), Some(false));
+    }
+
+    #[test]
+    fn dilation_grows() {
+        let m = mask_from_rows(&[".....", ".....", "..#..", ".....", "....."]);
+        let d = dilate(&m);
+        assert_eq!(d.count_foreground(), 9);
+    }
+
+    #[test]
+    fn open_removes_speckle() {
+        let m = mask_from_rows(&["#....", ".....", "..###", "..###", "..###"]);
+        let o = open(&m);
+        assert_eq!(o.get(0, 0), Some(false), "lone pixel removed");
+        assert_eq!(o.get(3, 3), Some(true), "blob core kept");
+    }
+
+    #[test]
+    fn close_fills_pinhole() {
+        let m = mask_from_rows(&["#####", "#####", "##.##", "#####", "#####"]);
+        let c = close(&m);
+        assert_eq!(c.get(2, 2), Some(true), "pinhole filled");
+    }
+
+    #[test]
+    fn erode_dilate_are_monotone() {
+        let m = mask_from_rows(&[".....", ".###.", ".###.", ".###.", "....."]);
+        let e = erode(&m);
+        let d = dilate(&m);
+        for (x, y, v) in e.iter() {
+            if v {
+                assert_eq!(m.get(x, y), Some(true), "erosion is a subset");
+            }
+        }
+        for (x, y, v) in m.iter() {
+            if v {
+                assert_eq!(d.get(x, y), Some(true), "dilation is a superset");
+            }
+        }
+    }
+}

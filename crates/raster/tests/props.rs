@@ -1,0 +1,110 @@
+//! Property-based tests for the raster substrate.
+
+use hdc_geometry::Vec2;
+use hdc_raster::contour::{contour_perimeter, trace_outer_contour};
+use hdc_raster::io::{decode_pgm, encode_pgm};
+use hdc_raster::morphology::{close, dilate, erode, open};
+use hdc_raster::threshold::{binarize, otsu_threshold};
+use hdc_raster::{draw, label_components, largest_component, Bitmap, Connectivity, GrayImage};
+use proptest::prelude::*;
+
+fn small_gray() -> impl Strategy<Value = GrayImage> {
+    (2u32..24, 2u32..24)
+        .prop_flat_map(|(w, h)| {
+            prop::collection::vec(any::<u8>(), (w * h) as usize)
+                .prop_map(move |data| {
+                    let mut img = GrayImage::new(w, h);
+                    img.pixels_mut().copy_from_slice(&data);
+                    img
+                })
+        })
+}
+
+fn small_mask() -> impl Strategy<Value = Bitmap> {
+    small_gray().prop_map(|g| g.map(|p| p > 128))
+}
+
+proptest! {
+    #[test]
+    fn pgm_roundtrip_any_image(img in small_gray()) {
+        let back = decode_pgm(&encode_pgm(&img)).unwrap();
+        prop_assert_eq!(back, img);
+    }
+
+    #[test]
+    fn binarize_counts_consistent(img in small_gray(), t in any::<u8>()) {
+        let b = binarize(&img, t);
+        let count = img.pixels().iter().filter(|p| **p > t).count();
+        prop_assert_eq!(b.count_foreground(), count);
+    }
+
+    #[test]
+    fn otsu_in_range(img in small_gray()) {
+        let _t = otsu_threshold(&img); // must not panic for any image
+    }
+
+    #[test]
+    fn erosion_subset_dilation_superset(m in small_mask()) {
+        let e = erode(&m);
+        let d = dilate(&m);
+        for (x, y, v) in e.iter() {
+            if v { prop_assert_eq!(m.get(x, y), Some(true)); }
+        }
+        for (x, y, v) in m.iter() {
+            if v { prop_assert_eq!(d.get(x, y), Some(true)); }
+        }
+    }
+
+    #[test]
+    fn open_close_idempotent_on_result(m in small_mask()) {
+        let o = open(&m);
+        prop_assert_eq!(open(&o).count_foreground(), o.count_foreground());
+        let c = close(&m);
+        prop_assert_eq!(close(&c).count_foreground(), c.count_foreground());
+    }
+
+    #[test]
+    fn component_areas_sum_to_foreground(m in small_mask()) {
+        let (_, comps) = label_components(&m, Connectivity::Eight);
+        let sum: usize = comps.iter().map(|c| c.area).sum();
+        prop_assert_eq!(sum, m.count_foreground());
+    }
+
+    #[test]
+    fn largest_component_is_max(m in small_mask()) {
+        if let Some((mask, comp)) = largest_component(&m, Connectivity::Four) {
+            let (_, comps) = label_components(&m, Connectivity::Four);
+            let max_area = comps.iter().map(|c| c.area).max().unwrap();
+            prop_assert_eq!(comp.area, max_area);
+            prop_assert_eq!(mask.count_foreground(), comp.area);
+        } else {
+            prop_assert_eq!(m.count_foreground(), 0);
+        }
+    }
+
+    #[test]
+    fn contour_points_are_foreground_and_adjacent(m in small_mask()) {
+        if let Some(c) = trace_outer_contour(&m) {
+            for p in &c {
+                prop_assert_eq!(m.get(p.x, p.y), Some(true));
+            }
+            for i in 0..c.len().saturating_sub(1) {
+                let dx = (c[i].x as i64 - c[i + 1].x as i64).abs();
+                let dy = (c[i].y as i64 - c[i + 1].y as i64).abs();
+                prop_assert!(dx <= 1 && dy <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn disk_contour_perimeter_scales(r in 5.0f64..25.0) {
+        let size = (2.0 * r + 8.0) as u32;
+        let mut img = GrayImage::new(size, size);
+        draw::fill_disk(&mut img, Vec2::new(size as f64 / 2.0, size as f64 / 2.0), r, 255);
+        let mask = binarize(&img, 128);
+        let contour = trace_outer_contour(&mask).unwrap();
+        let per = contour_perimeter(&contour);
+        let circ = std::f64::consts::TAU * r;
+        prop_assert!((per - circ).abs() / circ < 0.2, "perimeter {} vs {}", per, circ);
+    }
+}

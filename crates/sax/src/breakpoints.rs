@@ -1,0 +1,209 @@
+//! Gaussian breakpoints for SAX symbolisation.
+//!
+//! SAX assumes z-normalised series are approximately standard normal and
+//! chooses breakpoints that make each symbol equiprobable: the `a-1` interior
+//! quantiles of N(0, 1).
+
+/// Smallest supported alphabet size.
+pub const MIN_ALPHABET: u8 = 2;
+/// Largest supported alphabet size (one Latin letter per symbol).
+pub const MAX_ALPHABET: u8 = 26;
+
+/// Inverse CDF (quantile function) of the standard normal distribution,
+/// computed with Acklam's rational approximation (relative error < 1.15e-9).
+///
+/// # Panics
+/// Panics if `p` is outside the open interval `(0, 1)`.
+///
+/// # Example
+/// ```
+/// use hdc_sax::normal_quantile;
+/// assert!(normal_quantile(0.5).abs() < 1e-12);
+/// assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-5);
+/// ```
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0,1), got {p}");
+
+    // Coefficients for Acklam's approximation.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// The `alphabet - 1` interior breakpoints dividing N(0,1) into `alphabet`
+/// equiprobable intervals, in ascending order.
+///
+/// # Panics
+/// Panics if `alphabet` is outside `[MIN_ALPHABET, MAX_ALPHABET]`.
+///
+/// # Example
+/// ```
+/// use hdc_sax::breakpoints;
+/// let b = breakpoints(4);
+/// assert_eq!(b.len(), 3);
+/// assert!(b[1].abs() < 1e-12); // median
+/// assert!((b[0] + 0.6744897).abs() < 1e-5);
+/// ```
+pub fn breakpoints(alphabet: u8) -> Vec<f64> {
+    assert!(
+        (MIN_ALPHABET..=MAX_ALPHABET).contains(&alphabet),
+        "alphabet size {alphabet} outside [{MIN_ALPHABET}, {MAX_ALPHABET}]"
+    );
+    (1..alphabet)
+        .map(|i| normal_quantile(i as f64 / alphabet as f64))
+        .collect()
+}
+
+/// Maps a z-normalised value to its symbol index under `alphabet` breakpoints.
+///
+/// Symbol `k` means the value lies in the `k`-th equiprobable interval
+/// (0 = lowest).
+pub fn symbol_for(value: f64, bps: &[f64]) -> u8 {
+    // binary search: number of breakpoints <= value
+    let mut lo = 0usize;
+    let mut hi = bps.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if bps[mid] <= value {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_known_values() {
+        assert!(normal_quantile(0.5).abs() < 1e-9);
+        assert!((normal_quantile(0.8413447460685429) - 1.0).abs() < 1e-6);
+        assert!((normal_quantile(0.975) - 1.959963985).abs() < 1e-6);
+        assert!((normal_quantile(0.025) + 1.959963985).abs() < 1e-6);
+        // extreme tails still finite and monotone
+        assert!(normal_quantile(1e-10) < -6.0);
+        assert!(normal_quantile(1.0 - 1e-10) > 6.0);
+    }
+
+    #[test]
+    fn quantile_is_antisymmetric() {
+        for p in [0.01, 0.1, 0.3, 0.45] {
+            let lo = normal_quantile(p);
+            let hi = normal_quantile(1.0 - p);
+            assert!((lo + hi).abs() < 1e-8, "Φ⁻¹({p}) = {lo}, Φ⁻¹({}) = {hi}", 1.0 - p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile probability")]
+    fn quantile_rejects_zero() {
+        normal_quantile(0.0);
+    }
+
+    #[test]
+    fn classic_sax_tables() {
+        // canonical values from the SAX literature
+        let b3 = breakpoints(3);
+        assert!((b3[0] + 0.43).abs() < 0.01);
+        assert!((b3[1] - 0.43).abs() < 0.01);
+        let b4 = breakpoints(4);
+        assert!((b4[0] + 0.67).abs() < 0.01);
+        assert!(b4[1].abs() < 1e-9);
+        assert!((b4[2] - 0.67).abs() < 0.01);
+        let b5 = breakpoints(5);
+        assert!((b5[0] + 0.84).abs() < 0.01);
+        assert!((b5[1] + 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn breakpoints_ascending() {
+        for a in MIN_ALPHABET..=MAX_ALPHABET {
+            let b = breakpoints(a);
+            assert_eq!(b.len(), (a - 1) as usize);
+            for w in b.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet size")]
+    fn breakpoints_reject_unit_alphabet() {
+        breakpoints(1);
+    }
+
+    #[test]
+    fn symbol_assignment() {
+        let bps = breakpoints(4); // [-0.674, 0, 0.674]
+        assert_eq!(symbol_for(-1.0, &bps), 0);
+        assert_eq!(symbol_for(-0.3, &bps), 1);
+        assert_eq!(symbol_for(0.3, &bps), 2);
+        assert_eq!(symbol_for(1.0, &bps), 3);
+        // boundary: breakpoint itself belongs to the upper interval
+        assert_eq!(symbol_for(0.0, &bps), 2);
+    }
+
+    #[test]
+    fn symbols_roughly_equiprobable() {
+        // uniform z-scores over a wide range should hit all 5 symbols
+        let bps = breakpoints(5);
+        let mut counts = [0usize; 5];
+        let n = 100_000;
+        for i in 0..n {
+            // map uniform(0,1) through the quantile function → standard normal samples
+            let p = (i as f64 + 0.5) / n as f64;
+            let z = normal_quantile(p);
+            counts[symbol_for(z, &bps) as usize] += 1;
+        }
+        for c in counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.2).abs() < 0.01, "symbol frequency {frac}");
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! A template database of SAX words with lower-bound pruned lookup.
+//!
+//! The paper: *"This last step facilitates a comparison of the string against
+//! a database of strings and hence can be used quite effectively to identify
+//! features in images."* The [`SaxIndex`] is that database: canonical sign
+//! signatures inserted once, live frames matched with a rotation-invariant
+//! MINDIST lower bound and an exact Euclidean refinement.
+
+use crate::encoder::{SaxEncoder, SaxParams};
+use crate::mindist::{mindist_with_table, symbol_distance_table};
+use crate::word::SaxWord;
+use hdc_timeseries::{min_rotated_euclidean, resample, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// A stored canonical signature.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Template {
+    /// The class label (e.g. `"No"`).
+    pub label: String,
+    /// The template's SAX word.
+    pub word: SaxWord,
+    /// The z-normalised, uniformly resampled series.
+    pub series: Vec<f64>,
+}
+
+/// Result of a database lookup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexMatch {
+    /// Label of the best-matching template.
+    pub label: String,
+    /// Rotation-invariant MINDIST lower bound to that template.
+    pub lower_bound: f64,
+    /// Exact rotation-invariant Euclidean distance.
+    pub distance: f64,
+    /// Circular shift (in samples) that aligned the query with the template.
+    pub shift: usize,
+}
+
+/// A database of SAX-encoded shape signatures.
+///
+/// # Example
+/// ```
+/// use hdc_sax::{SaxIndex, SaxParams};
+/// let mut idx = SaxIndex::new(SaxParams::default(), 128);
+/// let square: Vec<f64> = (0..128).map(|i| if (i / 16) % 2 == 0 { 1.0 } else { -1.0 }).collect();
+/// let sine: Vec<f64> = (0..128).map(|i| (i as f64 * 0.3).sin()).collect();
+/// idx.insert("square", &square);
+/// idx.insert("sine", &sine);
+/// let m = idx.best_match(&square).unwrap();
+/// assert_eq!(m.label, "square");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SaxIndex {
+    encoder: SaxEncoder,
+    series_len: usize,
+    templates: Vec<Template>,
+    table: Vec<Vec<f64>>,
+}
+
+impl SaxIndex {
+    /// Creates an empty index.
+    ///
+    /// `series_len` is the common length all signatures are resampled to
+    /// before encoding and matching.
+    ///
+    /// # Panics
+    /// Panics if `series_len` is zero.
+    pub fn new(params: SaxParams, series_len: usize) -> Self {
+        assert!(series_len > 0, "series length must be positive");
+        SaxIndex {
+            encoder: SaxEncoder::new(params),
+            series_len,
+            templates: Vec::new(),
+            table: symbol_distance_table(params.alphabet()),
+        }
+    }
+
+    /// The encoder parameters.
+    pub fn params(&self) -> SaxParams {
+        self.encoder.params()
+    }
+
+    /// The common signature length.
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// Number of stored templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Whether the index holds no templates.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// The stored templates.
+    pub fn templates(&self) -> &[Template] {
+        &self.templates
+    }
+
+    /// Normalises a raw signature to the index's canonical form.
+    fn canonicalize(&self, series: &[f64]) -> Vec<f64> {
+        let resampled = resample(series, self.series_len);
+        TimeSeries::new(resampled).znormalized().into_values()
+    }
+
+    /// Inserts a canonical signature under `label`.
+    pub fn insert(&mut self, label: impl Into<String>, series: &[f64]) {
+        let canonical = self.canonicalize(series);
+        let word = self.encoder.encode(&canonical);
+        self.templates.push(Template {
+            label: label.into(),
+            word,
+            series: canonical,
+        });
+    }
+
+    /// Encodes an arbitrary series with the index's encoder (exposed for
+    /// diagnostics and the experiment harness).
+    pub fn encode(&self, series: &[f64]) -> SaxWord {
+        self.encoder.encode(&self.canonicalize(series))
+    }
+
+    /// Finds the best-matching template for a query signature.
+    ///
+    /// Strategy: compute the rotation-invariant MINDIST lower bound to every
+    /// template (cheap, word-level), visit templates in ascending lower-bound
+    /// order and compute the exact rotation-invariant Euclidean distance,
+    /// skipping any template whose lower bound already exceeds the best exact
+    /// distance found — the classic lower-bound pruning search.
+    ///
+    /// Returns `None` when the index is empty.
+    pub fn best_match(&self, series: &[f64]) -> Option<IndexMatch> {
+        if self.templates.is_empty() {
+            return None;
+        }
+        let canonical = self.canonicalize(series);
+        let query_word = self.encoder.encode(&canonical);
+
+        // Lower bounds, word-level rotation search.
+        let mut candidates: Vec<(usize, f64)> = self
+            .templates
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let mut best = f64::INFINITY;
+                for shift in 0..t.word.len() {
+                    let rotated = t.word.rotated_left(shift);
+                    let d = mindist_with_table(&query_word, &rotated, self.series_len, &self.table);
+                    if d < best {
+                        best = d;
+                    }
+                }
+                (i, best)
+            })
+            .collect();
+        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+
+        let mut best: Option<IndexMatch> = None;
+        for (i, lb) in candidates {
+            if let Some(ref b) = best {
+                if lb >= b.distance {
+                    break; // every remaining lower bound is worse
+                }
+            }
+            let t = &self.templates[i];
+            let (d, shift) = min_rotated_euclidean(&canonical, &t.series, 1)
+                .expect("canonical series are equal-length and non-empty");
+            if best.as_ref().is_none_or(|b| d < b.distance) {
+                best = Some(IndexMatch {
+                    label: t.label.clone(),
+                    lower_bound: lb,
+                    distance: d,
+                    shift,
+                });
+            }
+        }
+        best
+    }
+
+    /// Like [`SaxIndex::best_match`] but also returns the exact distance to
+    /// the best template of a *different* label, when one exists — the
+    /// runner-up used by ambiguity (ratio) tests.
+    ///
+    /// Note that the runner-up distance is exact (not pruned): ratio tests
+    /// need the true second-best value.
+    pub fn best_two(&self, series: &[f64]) -> Option<(IndexMatch, Option<f64>)> {
+        if self.templates.is_empty() {
+            return None;
+        }
+        let canonical = self.canonicalize(series);
+        let query_word = self.encoder.encode(&canonical);
+
+        // Lower bounds, word-level rotation search (kept for the IndexMatch
+        // diagnostics even though the ratio test forces exact distances).
+        let mut exact: Vec<(usize, f64, f64, usize)> = self
+            .templates
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let mut lb = f64::INFINITY;
+                for shift in 0..t.word.len() {
+                    let rotated = t.word.rotated_left(shift);
+                    let d = mindist_with_table(&query_word, &rotated, self.series_len, &self.table);
+                    if d < lb {
+                        lb = d;
+                    }
+                }
+                let (d, shift) = min_rotated_euclidean(&canonical, &t.series, 1)
+                    .expect("canonical series are equal-length and non-empty");
+                (i, lb, d, shift)
+            })
+            .collect();
+        exact.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+
+        let (i, lb, d, shift) = exact[0];
+        let best = IndexMatch {
+            label: self.templates[i].label.clone(),
+            lower_bound: lb,
+            distance: d,
+            shift,
+        };
+        let runner_up = exact
+            .iter()
+            .skip(1)
+            .find(|(j, _, _, _)| self.templates[*j].label != best.label)
+            .map(|(_, _, d, _)| *d);
+        Some((best, runner_up))
+    }
+
+    /// Classifies a query: the best match's label if its exact distance is
+    /// within `threshold`, otherwise `None` (unknown sign).
+    pub fn classify(&self, series: &[f64], threshold: f64) -> Option<IndexMatch> {
+        self.best_match(series).filter(|m| m.distance <= threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_timeseries::rotate_left;
+
+    fn square_wave(n: usize, period: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| if (i / period).is_multiple_of(2) { 1.0 } else { -1.0 })
+            .collect()
+    }
+
+    fn sine(n: usize, cycles: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| (std::f64::consts::TAU * cycles * i as f64 / n as f64).sin())
+            .collect()
+    }
+
+    fn index_with_shapes() -> SaxIndex {
+        let mut idx = SaxIndex::new(SaxParams::default(), 128);
+        idx.insert("square", &square_wave(128, 16));
+        idx.insert("sine3", &sine(128, 3.0));
+        idx.insert("sine7", &sine(128, 7.0));
+        idx
+    }
+
+    #[test]
+    fn empty_index_returns_none() {
+        let idx = SaxIndex::new(SaxParams::default(), 64);
+        assert!(idx.best_match(&[1.0, 2.0]).is_none());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn exact_query_matches_itself() {
+        let idx = index_with_shapes();
+        let m = idx.best_match(&sine(128, 3.0)).unwrap();
+        assert_eq!(m.label, "sine3");
+        assert!(m.distance < 1e-9);
+        assert!(m.lower_bound <= m.distance + 1e-9, "lower bound property");
+    }
+
+    #[test]
+    fn rotated_query_still_matches() {
+        let idx = index_with_shapes();
+        let rotated = rotate_left(&sine(128, 7.0), 37);
+        let m = idx.best_match(&rotated).unwrap();
+        assert_eq!(m.label, "sine7");
+        assert!(m.distance < 1e-6, "rotation-invariant match, got {}", m.distance);
+    }
+
+    #[test]
+    fn different_length_query_is_resampled() {
+        let idx = index_with_shapes();
+        let m = idx.best_match(&sine(300, 3.0)).unwrap();
+        assert_eq!(m.label, "sine3");
+        assert!(m.distance < 1.5, "resampled query distance {}", m.distance);
+    }
+
+    #[test]
+    fn classify_thresholds() {
+        let idx = index_with_shapes();
+        let q = sine(128, 3.0);
+        assert!(idx.classify(&q, 0.5).is_some());
+        // white-ish junk: far from every template
+        let junk: Vec<f64> = (0..128u64).map(|i| ((i * 2654435761) % 97) as f64).collect();
+        let m = idx.best_match(&junk).unwrap();
+        assert!(idx.classify(&junk, m.distance / 2.0).is_none());
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_distance() {
+        let idx = index_with_shapes();
+        for q in [sine(128, 3.0), sine(128, 5.0), square_wave(128, 8)] {
+            let m = idx.best_match(&q).unwrap();
+            assert!(m.lower_bound <= m.distance + 1e-9);
+        }
+    }
+
+    #[test]
+    fn templates_accessible() {
+        let idx = index_with_shapes();
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.templates()[0].label, "square");
+        assert_eq!(idx.series_len(), 128);
+        assert_eq!(idx.params(), SaxParams::default());
+    }
+}

@@ -1,0 +1,204 @@
+//! The MINDIST lower-bounding distance between SAX words.
+
+use crate::breakpoints::breakpoints;
+use crate::word::SaxWord;
+
+/// Builds the symbol-pair distance table for an alphabet.
+///
+/// `table[i][j]` is zero when `|i - j| <= 1` and otherwise the gap between
+/// the breakpoints separating the two symbols — the classic SAX `dist()`
+/// lookup table that makes MINDIST a lower bound of the true Euclidean
+/// distance.
+pub fn symbol_distance_table(alphabet: u8) -> Vec<Vec<f64>> {
+    let bps = breakpoints(alphabet);
+    let a = alphabet as usize;
+    let mut table = vec![vec![0.0; a]; a];
+    for (i, row) in table.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            if i.abs_diff(j) > 1 {
+                let hi = i.max(j);
+                let lo = i.min(j);
+                *cell = bps[hi - 1] - bps[lo];
+            }
+        }
+    }
+    table
+}
+
+/// MINDIST between two SAX words of the same length and alphabet.
+///
+/// `original_len` is the length `n` of the series the words were encoded
+/// from; the `sqrt(n/w)` compensation restores the scale of the original
+/// space so MINDIST lower-bounds the true Euclidean distance between the
+/// z-normalised series.
+///
+/// # Panics
+/// Panics if the words differ in length or alphabet, or if `original_len`
+/// is zero.
+///
+/// # Example
+/// ```
+/// use hdc_sax::{mindist, SaxWord};
+/// let a: SaxWord = "aabb".parse().unwrap();
+/// let same = mindist(&a, &a, 64);
+/// assert_eq!(same, 0.0);
+/// ```
+pub fn mindist(a: &SaxWord, b: &SaxWord, original_len: usize) -> f64 {
+    assert_eq!(a.len(), b.len(), "MINDIST needs equal word lengths");
+    assert_eq!(a.alphabet(), b.alphabet(), "MINDIST needs matching alphabets");
+    assert!(original_len > 0, "original series length must be positive");
+    let table = symbol_distance_table(a.alphabet());
+    mindist_with_table(a, b, original_len, &table)
+}
+
+/// MINDIST with a caller-provided symbol table (avoids rebuilding the table
+/// in hot loops — see [`symbol_distance_table`]).
+///
+/// # Panics
+/// Same contracts as [`mindist`]; additionally the table must match the
+/// words' alphabet.
+pub fn mindist_with_table(
+    a: &SaxWord,
+    b: &SaxWord,
+    original_len: usize,
+    table: &[Vec<f64>],
+) -> f64 {
+    let w = a.len();
+    let sum: f64 = a
+        .symbols()
+        .iter()
+        .zip(b.symbols())
+        .map(|(x, y)| {
+            let d = table[*x as usize][*y as usize];
+            d * d
+        })
+        .sum();
+    ((original_len as f64 / w as f64) * sum).sqrt()
+}
+
+/// Rotation-invariant MINDIST: the minimum over all circular rotations of
+/// `b`, returning `(distance, best_shift)`.
+///
+/// Rotating the underlying shape circularly shifts its contour signature, so
+/// shifting at the (short) word level is a cheap rotation-invariant lower
+/// bound — the trick from *Finding Motifs in a Database of Shapes*.
+///
+/// # Panics
+/// Same contracts as [`mindist`].
+pub fn min_rotated_mindist(a: &SaxWord, b: &SaxWord, original_len: usize) -> (f64, usize) {
+    assert_eq!(a.len(), b.len(), "MINDIST needs equal word lengths");
+    assert_eq!(a.alphabet(), b.alphabet(), "MINDIST needs matching alphabets");
+    let table = symbol_distance_table(a.alphabet());
+    let mut best = (f64::INFINITY, 0usize);
+    for shift in 0..b.len() {
+        let rotated = b.rotated_left(shift);
+        let d = mindist_with_table(a, &rotated, original_len, &table);
+        if d < best.0 {
+            best = (d, shift);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{SaxEncoder, SaxParams};
+    use hdc_timeseries::TimeSeries;
+
+    #[test]
+    fn table_structure() {
+        let t = symbol_distance_table(4);
+        // adjacent symbols are free
+        for i in 0..4 {
+            assert_eq!(t[i][i], 0.0);
+        }
+        assert_eq!(t[0][1], 0.0);
+        assert_eq!(t[1][2], 0.0);
+        // distant symbols cost breakpoint gaps; table is symmetric
+        assert!(t[0][2] > 0.0);
+        assert_eq!(t[0][3], t[3][0]);
+        assert!((t[0][3] - (0.6744897 + 0.6744897)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn identical_words_zero() {
+        let w: SaxWord = "abcabc".parse().unwrap();
+        assert_eq!(mindist(&w, &w, 128), 0.0);
+    }
+
+    #[test]
+    fn adjacent_symbols_zero() {
+        let a: SaxWord = SaxWord::new(vec![0, 1, 2], 4).unwrap();
+        let b: SaxWord = SaxWord::new(vec![1, 2, 3], 4).unwrap();
+        assert_eq!(mindist(&a, &b, 30), 0.0, "adjacent symbols carry no cost");
+    }
+
+    #[test]
+    fn scale_compensation() {
+        let a = SaxWord::new(vec![0, 0], 4).unwrap();
+        let b = SaxWord::new(vec![3, 3], 4).unwrap();
+        let d64 = mindist(&a, &b, 64);
+        let d16 = mindist(&a, &b, 16);
+        assert!((d64 / d16 - 2.0).abs() < 1e-9, "sqrt(n) scaling");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal word lengths")]
+    fn mismatched_lengths_panic() {
+        let a: SaxWord = "ab".parse().unwrap();
+        let b: SaxWord = "abc".parse().unwrap();
+        mindist(&a, &b, 8);
+    }
+
+    #[test]
+    fn mindist_lower_bounds_euclidean() {
+        // the defining property of MINDIST
+        let n = 128usize;
+        let s1: Vec<f64> = (0..n).map(|i| (i as f64 * 0.2).sin()).collect();
+        let s2: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).cos() * 1.5).collect();
+        let z1 = TimeSeries::new(s1).znormalized().into_values();
+        let z2 = TimeSeries::new(s2).znormalized().into_values();
+        let true_d = hdc_timeseries::euclidean(&z1, &z2).unwrap();
+        for (w, a) in [(8, 3u8), (16, 4), (32, 6), (16, 10)] {
+            let enc = SaxEncoder::new(SaxParams::new(w, a).unwrap());
+            let w1 = enc.encode(&z1);
+            let w2 = enc.encode(&z2);
+            let lb = mindist(&w1, &w2, n);
+            assert!(
+                lb <= true_d + 1e-9,
+                "MINDIST {lb} must lower-bound Euclidean {true_d} for (w={w}, a={a})"
+            );
+        }
+    }
+
+    #[test]
+    fn rotation_invariant_recovers_rotation() {
+        let enc = SaxEncoder::new(SaxParams::new(16, 5).unwrap());
+        let n = 160usize;
+        let base: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * 3.0 * i as f64 / n as f64).sin())
+            .collect();
+        let rotated = hdc_timeseries::rotate_left(&base, 40); // quarter turn
+        let wa = enc.encode(&base);
+        let wb = enc.encode(&rotated);
+        let (d, _shift) = min_rotated_mindist(&wa, &wb, n);
+        assert!(d < 1e-9, "rotated copy should match at distance 0, got {d}");
+        // 40 samples = 4 word positions; rotating wb by 16-4=12 recovers wa
+        // exactly (other shifts may tie at 0 because adjacent symbols are
+        // free under MINDIST — it is a lower bound, not a metric)
+        let table = symbol_distance_table(5);
+        let exact = mindist_with_table(&wa, &wb.rotated_left(12), n, &table);
+        assert!(exact < 1e-9, "true rotation must be among the zero-cost shifts");
+    }
+
+    #[test]
+    fn rotation_invariant_bounded_by_plain() {
+        let a: SaxWord = "aabbccdd".parse().unwrap();
+        let b: SaxWord = "ddaabbcc".parse().unwrap();
+        let plain = mindist(&a, &b, 80);
+        let (rot, _) = min_rotated_mindist(&a, &b, 80);
+        assert!(rot <= plain);
+        assert_eq!(rot, 0.0);
+    }
+}

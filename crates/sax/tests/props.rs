@@ -1,0 +1,129 @@
+//! Property-based tests for SAX invariants.
+
+use hdc_sax::{
+    breakpoints, min_rotated_mindist, mindist, normal_quantile, SaxEncoder, SaxIndex, SaxParams,
+    SaxWord,
+};
+use hdc_timeseries::{euclidean, rotate_left, TimeSeries};
+use proptest::prelude::*;
+
+fn series(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-50.0f64..50.0, len)
+}
+
+fn params() -> impl Strategy<Value = SaxParams> {
+    (2usize..24, 2u8..12).prop_map(|(w, a)| SaxParams::new(w, a).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn quantile_monotone(p1 in 0.001f64..0.999, p2 in 0.001f64..0.999) {
+        let (lo, hi) = if p1 < p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(normal_quantile(lo) <= normal_quantile(hi) + 1e-12);
+    }
+
+    #[test]
+    fn breakpoints_strictly_ascending(a in 2u8..=26) {
+        let b = breakpoints(a);
+        prop_assert_eq!(b.len(), (a - 1) as usize);
+        for w in b.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn encoding_has_requested_length(v in series(1..128), p in params()) {
+        let enc = SaxEncoder::new(p);
+        let w = enc.encode(&v);
+        prop_assert_eq!(w.len(), p.segments());
+        prop_assert_eq!(w.alphabet(), p.alphabet());
+    }
+
+    #[test]
+    fn encoding_is_scale_invariant(v in series(4..64), p in params(), scale in 0.1f64..50.0, offset in -100.0f64..100.0) {
+        let enc = SaxEncoder::new(p);
+        let scaled: Vec<f64> = v.iter().map(|x| x * scale + offset).collect();
+        prop_assert_eq!(enc.encode(&v), enc.encode(&scaled));
+    }
+
+    #[test]
+    fn word_display_parse_roundtrip(v in series(4..64), p in params()) {
+        let enc = SaxEncoder::new(p);
+        let w = enc.encode(&v);
+        let parsed: SaxWord = w.to_string().parse().unwrap();
+        prop_assert_eq!(parsed.symbols(), w.symbols());
+    }
+
+    #[test]
+    fn mindist_is_symmetric_and_self_zero(v1 in series(32..33), v2 in series(32..33), p in params()) {
+        let enc = SaxEncoder::new(p);
+        let w1 = enc.encode(&v1);
+        let w2 = enc.encode(&v2);
+        let d12 = mindist(&w1, &w2, 32);
+        let d21 = mindist(&w2, &w1, 32);
+        prop_assert!((d12 - d21).abs() < 1e-12);
+        prop_assert_eq!(mindist(&w1, &w1, 32), 0.0);
+    }
+
+    #[test]
+    fn mindist_lower_bounds_euclidean(v1 in series(32..33), v2 in series(32..33), p in params()) {
+        let z1 = TimeSeries::new(v1).znormalized().into_values();
+        let z2 = TimeSeries::new(v2).znormalized().into_values();
+        let enc = SaxEncoder::new(p);
+        let w1 = enc.encode(&z1);
+        let w2 = enc.encode(&z2);
+        let lb = mindist(&w1, &w2, 32);
+        let d = euclidean(&z1, &z2).unwrap();
+        prop_assert!(lb <= d + 1e-9, "MINDIST {} must lower-bound {}", lb, d);
+    }
+
+    #[test]
+    fn rotated_mindist_bounded_by_plain(v1 in series(24..25), v2 in series(24..25), p in params()) {
+        let enc = SaxEncoder::new(p);
+        let w1 = enc.encode(&v1);
+        let w2 = enc.encode(&v2);
+        let plain = mindist(&w1, &w2, 24);
+        let (rot, shift) = min_rotated_mindist(&w1, &w2, 24);
+        prop_assert!(rot <= plain + 1e-12);
+        prop_assert!(shift < w2.len());
+    }
+
+    #[test]
+    fn index_self_query_is_exact(v in series(16..96)) {
+        let mut idx = SaxIndex::new(SaxParams::default(), 64);
+        idx.insert("self", &v);
+        let m = idx.best_match(&v).unwrap();
+        prop_assert_eq!(m.label.as_str(), "self");
+        prop_assert!(m.distance < 1e-9);
+        prop_assert!(m.lower_bound <= m.distance + 1e-9);
+    }
+
+    #[test]
+    fn index_rotation_invariance(v in series(64..65), shift in 0usize..64) {
+        // use a non-degenerate series: skip near-constant draws
+        let ts = TimeSeries::new(v.clone());
+        prop_assume!(ts.std_dev() > 1e-6);
+        let mut idx = SaxIndex::new(SaxParams::default(), 64);
+        idx.insert("shape", &v);
+        let rotated = rotate_left(&v, shift);
+        let m = idx.best_match(&rotated).unwrap();
+        prop_assert!(m.distance < 1e-6, "rotation should be free, got {}", m.distance);
+    }
+
+    #[test]
+    fn index_prefers_true_nearest(v1 in series(48..49), v2 in series(48..49)) {
+        let z1 = TimeSeries::new(v1.clone()).znormalized();
+        let z2 = TimeSeries::new(v2.clone()).znormalized();
+        prop_assume!(z1.std_dev() > 1e-6 && z2.std_dev() > 1e-6);
+        // ensure the two templates are distinguishable
+        let d = euclidean(z1.values(), z2.values()).unwrap();
+        prop_assume!(d > 1.0);
+        let mut idx = SaxIndex::new(SaxParams::default(), 48);
+        idx.insert("one", &v1);
+        idx.insert("two", &v2);
+        let m1 = idx.best_match(&v1).unwrap();
+        let m2 = idx.best_match(&v2).unwrap();
+        prop_assert_eq!(m1.label.as_str(), "one");
+        prop_assert_eq!(m2.label.as_str(), "two");
+    }
+}

@@ -1,0 +1,214 @@
+//! Series transforms: PAA, resampling, rotation, smoothing.
+
+/// Piecewise aggregate approximation: averages the series into `segments`
+/// equal-width frames (fractional frame boundaries are weighted).
+///
+/// This is the dimensionality-reduction step of SAX. When `segments >= len`
+/// the series is returned unchanged (each sample its own frame).
+///
+/// # Panics
+/// Panics if `segments` is zero.
+///
+/// # Example
+/// ```
+/// use hdc_timeseries::paa;
+/// let out = paa(&[1.0, 1.0, 3.0, 3.0], 2);
+/// assert_eq!(out, vec![1.0, 3.0]);
+/// ```
+pub fn paa(values: &[f64], segments: usize) -> Vec<f64> {
+    assert!(segments > 0, "PAA needs at least one segment");
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if segments >= n {
+        return values.to_vec();
+    }
+    // Weighted scheme: sample i contributes to frame(s) it overlaps when the
+    // series is stretched to length lcm-like fractional boundaries.
+    let mut out = vec![0.0; segments];
+    let ratio = segments as f64 / n as f64;
+    for (i, v) in values.iter().enumerate() {
+        let start = i as f64 * ratio;
+        let end = (i + 1) as f64 * ratio;
+        let first = start.floor() as usize;
+        let last = ((end - 1e-12).floor() as usize).min(segments - 1);
+        if first == last {
+            out[first] += v * (end - start);
+        } else {
+            for (seg, cell) in out.iter_mut().enumerate().take(last + 1).skip(first) {
+                let seg_start = (seg as f64).max(start);
+                let seg_end = ((seg + 1) as f64).min(end);
+                *cell += v * (seg_end - seg_start);
+            }
+        }
+    }
+    // each frame accumulated weight = 1 (in stretched units)
+    out
+}
+
+/// Uniformly resamples the series to `target_len` samples by linear
+/// interpolation over the index axis.
+///
+/// Contours of different pixel lengths are mapped onto a common length so
+/// signatures are comparable across scale — the scale-invariance half of the
+/// paper's pipeline.
+///
+/// # Panics
+/// Panics if `target_len` is zero.
+pub fn resample(values: &[f64], target_len: usize) -> Vec<f64> {
+    assert!(target_len > 0, "cannot resample to zero samples");
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![values[0]; target_len];
+    }
+    (0..target_len)
+        .map(|i| {
+            let t = i as f64 * (n - 1) as f64 / (target_len - 1).max(1) as f64;
+            let lo = t.floor() as usize;
+            let hi = (lo + 1).min(n - 1);
+            let frac = t - lo as f64;
+            values[lo] * (1.0 - frac) + values[hi] * frac
+        })
+        .collect()
+}
+
+/// Returns the series circularly rotated left by `shift` positions.
+///
+/// Rotating a closed contour's starting point corresponds to rotating the
+/// underlying shape, so matching under all rotations = matching under all
+/// circular shifts.
+pub fn rotate_left(values: &[f64], shift: usize) -> Vec<f64> {
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let s = shift % n;
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&values[s..]);
+    out.extend_from_slice(&values[..s]);
+    out
+}
+
+/// Centred moving-average smoothing with the given window half-width, using a
+/// circular boundary (appropriate for closed contours).
+///
+/// `half_width = 0` returns the input unchanged.
+pub fn smooth_moving_average(values: &[f64], half_width: usize) -> Vec<f64> {
+    let n = values.len();
+    if n == 0 || half_width == 0 {
+        return values.to_vec();
+    }
+    let w = 2 * half_width + 1;
+    (0..n)
+        .map(|i| {
+            let mut sum = 0.0;
+            for k in 0..w {
+                let idx = (i as i64 + k as i64 - half_width as i64).rem_euclid(n as i64) as usize;
+                sum += values[idx];
+            }
+            sum / w as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paa_exact_division() {
+        let out = paa(&[1.0, 1.0, 5.0, 5.0, 9.0, 9.0], 3);
+        assert_eq!(out, vec![1.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn paa_fractional_boundaries() {
+        // 3 samples into 2 segments: middle sample splits
+        let out = paa(&[0.0, 6.0, 12.0], 2);
+        // stretched: each frame covers 1.5 samples. frame0 = (0*1 + 6*0.5)/1.5 = 2
+        // accumulate in stretched units: sample weights ratio = 2/3.
+        // frame0 = 0*(2/3) + 6*(1/3) = 2; frame1 = 6*(1/3) + 12*(2/3) = 10
+        assert!((out[0] - 2.0).abs() < 1e-9, "{out:?}");
+        assert!((out[1] - 10.0).abs() < 1e-9, "{out:?}");
+    }
+
+    #[test]
+    fn paa_mean_is_preserved() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64 * 0.3).sin()).collect();
+        let out = paa(&values, 8);
+        let mean_in: f64 = values.iter().sum::<f64>() / values.len() as f64;
+        let mean_out: f64 = out.iter().sum::<f64>() / out.len() as f64;
+        assert!((mean_in - mean_out).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paa_more_segments_than_samples() {
+        let v = vec![1.0, 2.0];
+        assert_eq!(paa(&v, 10), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment")]
+    fn paa_zero_segments_panics() {
+        paa(&[1.0], 0);
+    }
+
+    #[test]
+    fn resample_endpoints_preserved() {
+        let v = vec![1.0, 5.0, 2.0, 8.0];
+        let r = resample(&v, 7);
+        assert_eq!(r.len(), 7);
+        assert_eq!(r[0], 1.0);
+        assert_eq!(r[6], 8.0);
+    }
+
+    #[test]
+    fn resample_identity_length() {
+        let v = vec![1.0, 2.0, 3.0];
+        assert_eq!(resample(&v, 3), v);
+    }
+
+    #[test]
+    fn resample_single_sample() {
+        assert_eq!(resample(&[7.0], 4), vec![7.0; 4]);
+        assert_eq!(resample(&[], 4), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn rotate_roundtrip() {
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(rotate_left(&v, 1), vec![2.0, 3.0, 4.0, 1.0]);
+        assert_eq!(rotate_left(&v, 4), v);
+        assert_eq!(rotate_left(&v, 5), rotate_left(&v, 1));
+        assert_eq!(rotate_left(&[], 3), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn smoothing_flattens_spike() {
+        let mut v = vec![0.0; 9];
+        v[4] = 9.0;
+        let s = smooth_moving_average(&v, 1);
+        assert_eq!(s[4], 3.0);
+        assert_eq!(s[3], 3.0);
+        assert_eq!(s[0], 0.0);
+    }
+
+    #[test]
+    fn smoothing_is_circular() {
+        let v = vec![9.0, 0.0, 0.0, 0.0];
+        let s = smooth_moving_average(&v, 1);
+        // neighbours of index 0 wrap to index 3
+        assert_eq!(s[0], 3.0);
+        assert_eq!(s[3], 3.0);
+    }
+
+    #[test]
+    fn smoothing_zero_width_identity() {
+        let v = vec![1.0, 2.0];
+        assert_eq!(smooth_moving_average(&v, 0), v);
+    }
+}

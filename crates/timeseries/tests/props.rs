@@ -1,0 +1,129 @@
+//! Property-based tests for the time-series substrate.
+
+use hdc_timeseries::{
+    dtw, dtw_banded, euclidean, min_rotated_euclidean, paa, resample, rotate_left,
+    smooth_moving_average, TimeSeries,
+};
+use proptest::prelude::*;
+
+fn series(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, len)
+}
+
+proptest! {
+    #[test]
+    fn znorm_has_zero_mean_unit_sd(v in series(2..64)) {
+        let z = TimeSeries::new(v).znormalized();
+        prop_assert!(z.mean().abs() < 1e-9);
+        let sd = z.std_dev();
+        prop_assert!(sd.abs() < 1e-9 || (sd - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paa_preserves_mean(v in series(1..128), segs in 1usize..32) {
+        let out = paa(&v, segs);
+        let mean_in: f64 = v.iter().sum::<f64>() / v.len() as f64;
+        let mean_out: f64 = out.iter().sum::<f64>() / out.len() as f64;
+        prop_assert!((mean_in - mean_out).abs() < 1e-6, "{} vs {}", mean_in, mean_out);
+    }
+
+    #[test]
+    fn paa_output_within_input_range(v in series(1..64), segs in 1usize..16) {
+        let out = paa(&v, segs);
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for o in out {
+            prop_assert!(o >= lo - 1e-9 && o <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn resample_preserves_range(v in series(2..64), n in 2usize..128) {
+        let out = resample(&v, n);
+        prop_assert_eq!(out.len(), n);
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for o in out {
+            prop_assert!(o >= lo - 1e-9 && o <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rotate_full_cycle_is_identity(v in series(1..32)) {
+        let n = v.len();
+        prop_assert_eq!(rotate_left(&v, n), v);
+    }
+
+    #[test]
+    fn rotation_composes(v in series(1..32), s1 in 0usize..40, s2 in 0usize..40) {
+        let once = rotate_left(&rotate_left(&v, s1), s2);
+        let both = rotate_left(&v, s1 + s2);
+        prop_assert_eq!(once, both);
+    }
+
+    #[test]
+    fn euclidean_is_a_metric(a in series(2..32)) {
+        let d = euclidean(&a, &a).unwrap();
+        prop_assert!(d.abs() < 1e-9);
+    }
+
+    #[test]
+    fn euclidean_symmetry(ab in series(2..32).prop_flat_map(|a| {
+        let n = a.len();
+        (Just(a), series(n..n + 1))
+    })) {
+        let (a, b) = ab;
+        let d1 = euclidean(&a, &b).unwrap();
+        let d2 = euclidean(&b, &a).unwrap();
+        prop_assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dtw_lower_bounds_euclidean(ab in series(2..24).prop_flat_map(|a| {
+        let n = a.len();
+        (Just(a), series(n..n + 1))
+    })) {
+        let (a, b) = ab;
+        let de = euclidean(&a, &b).unwrap();
+        let dw = dtw(&a, &b).unwrap();
+        prop_assert!(dw <= de + 1e-9, "dtw {} must not exceed euclidean {}", dw, de);
+    }
+
+    #[test]
+    fn dtw_band_monotone(ab in series(4..20).prop_flat_map(|a| {
+        let n = a.len();
+        (Just(a), series(n..n + 1))
+    })) {
+        let (a, b) = ab;
+        let narrow = dtw_banded(&a, &b, 1).unwrap();
+        let wide = dtw_banded(&a, &b, 8).unwrap();
+        prop_assert!(wide <= narrow + 1e-9, "wider band can only improve");
+    }
+
+    #[test]
+    fn min_rotation_recovers_self(v in series(2..32), shift in 0usize..32) {
+        let z = TimeSeries::new(v).znormalized().into_values();
+        let rotated = rotate_left(&z, shift % z.len());
+        let (d, _) = min_rotated_euclidean(&z, &rotated, 1).unwrap();
+        prop_assert!(d < 1e-6, "rotation-invariant distance to itself is 0, got {}", d);
+    }
+
+    #[test]
+    fn min_rotation_bounded_by_plain(ab in series(2..24).prop_flat_map(|a| {
+        let n = a.len();
+        (Just(a), series(n..n + 1))
+    })) {
+        let (a, b) = ab;
+        let plain = euclidean(&a, &b).unwrap();
+        let (rot, _) = min_rotated_euclidean(&a, &b, 1).unwrap();
+        prop_assert!(rot <= plain + 1e-9);
+    }
+
+    #[test]
+    fn smoothing_preserves_mean(v in series(2..48), hw in 0usize..4) {
+        let s = smooth_moving_average(&v, hw);
+        let m_in: f64 = v.iter().sum::<f64>() / v.len() as f64;
+        let m_out: f64 = s.iter().sum::<f64>() / s.len() as f64;
+        prop_assert!((m_in - m_out).abs() < 1e-6, "circular smoothing conserves mass");
+    }
+}

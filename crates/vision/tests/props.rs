@@ -1,0 +1,111 @@
+//! Property-based tests for the vision pipeline's invariants.
+
+use hdc_figure::{render_pose, MarshallingSign, Pose, ViewSpec};
+use hdc_geometry::Vec2;
+use hdc_raster::threshold::binarize;
+use hdc_raster::{draw, Bitmap, GrayImage};
+use hdc_vision::dynamic::frame_features;
+use hdc_vision::{extract_signature, hu_moments};
+use proptest::prelude::*;
+
+fn blob_mask(cx: f64, cy: f64, r: f64, size: u32) -> Bitmap {
+    let mut img = GrayImage::new(size, size);
+    draw::fill_disk(&mut img, Vec2::new(cx, cy), r, 255);
+    binarize(&img, 128)
+}
+
+proptest! {
+    #[test]
+    fn signature_has_requested_length(
+        r in 6.0f64..20.0,
+        len in 16usize..256,
+    ) {
+        let m = blob_mask(32.0, 32.0, r, 64);
+        let sig = extract_signature(&m, len).unwrap();
+        prop_assert_eq!(sig.series.len(), len);
+        prop_assert!(sig.series.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn signature_translation_invariant(
+        dx in -10.0f64..10.0,
+        dy in -10.0f64..10.0,
+    ) {
+        // a structured shape (elongated capsule): a disk would be degenerate —
+        // its constant radius series z-normalises to pure rasterisation noise
+        let bar = |cx: f64, cy: f64| {
+            let mut img = GrayImage::new(96, 96);
+            draw::fill_tapered_capsule(
+                &mut img,
+                Vec2::new(cx - 18.0, cy),
+                6.0,
+                Vec2::new(cx + 18.0, cy),
+                6.0,
+                255,
+            );
+            binarize(&img, 128)
+        };
+        let a = extract_signature(&bar(48.0, 48.0), 64).unwrap();
+        let b = extract_signature(&bar(48.0 + dx, 48.0 + dy), 64).unwrap();
+        // same shape anywhere in frame ⇒ nearly identical signature (up to a
+        // circular shift from the trace's start pixel; minimise over shifts)
+        let (d, _) = hdc_timeseries::min_rotated_euclidean(&a.series, &b.series, 1).unwrap();
+        prop_assert!(d < 2.0, "translation changed the signature by {}", d);
+    }
+
+    #[test]
+    fn signature_mean_radius_scales(r in 8.0f64..25.0) {
+        let sig = extract_signature(&blob_mask(40.0, 40.0, r, 96), 64).unwrap();
+        prop_assert!((sig.mean_radius - r).abs() < 2.5, "mean radius {} vs r {}", sig.mean_radius, r);
+    }
+
+    #[test]
+    fn hu_moments_translation_invariant(
+        dx in -12.0f64..12.0,
+        dy in -12.0f64..12.0,
+    ) {
+        let a = hu_moments(&blob_mask(40.0, 40.0, 10.0, 80)).unwrap();
+        let b = hu_moments(&blob_mask(40.0 + dx, 40.0 + dy, 10.0, 80)).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn rendered_poses_always_have_features(
+        la in 0.0f64..2.8,
+        lf in 0.0f64..2.0,
+        ra in 0.0f64..2.8,
+        rf in 0.0f64..2.0,
+    ) {
+        let pose = Pose {
+            left_abduction: la,
+            left_flexion: lf,
+            right_abduction: ra,
+            right_flexion: rf,
+            stance_half_width: 0.12,
+        };
+        let frame = render_pose(pose, &ViewSpec::paper_default(0.0, 5.0, 3.0));
+        let mask = binarize(&frame, 128);
+        let f = frame_features(&mask).expect("figure visible");
+        prop_assert!(f.aspect > 0.05 && f.aspect < 5.0);
+        prop_assert!((0.0..=1.0).contains(&f.centroid_x));
+        // the signature must be extractable from every plausible pose too
+        let sig = extract_signature(&mask, 128);
+        prop_assert!(sig.is_ok());
+    }
+
+    #[test]
+    fn jittered_canonical_signs_stay_recognizable(seed in 0u64..40) {
+        use rand::{rngs::SmallRng, SeedableRng};
+        use hdc_vision::{PipelineConfig, RecognitionPipeline};
+        let mut p = RecognitionPipeline::new(PipelineConfig::default());
+        p.calibrate_from_views(&ViewSpec::paper_default(0.0, 5.0, 3.0));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sign = MarshallingSign::ALL[(seed % 3) as usize];
+        let pose = Pose::for_sign(sign).jittered(0.03, &mut rng);
+        let frame = render_pose(pose, &ViewSpec::paper_default(0.0, 5.0, 3.0));
+        let r = p.recognize(&frame);
+        prop_assert_eq!(r.decision.as_deref(), Some(sign.label()));
+    }
+}

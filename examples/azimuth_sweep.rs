@@ -1,0 +1,44 @@
+//! The dead-angle experiment (paper §IV): sweep the relative azimuth and
+//! watch recognition of the "No" sign degrade, then estimate the dead angle.
+//!
+//! Run with: `cargo run --release --example azimuth_sweep`
+
+use hdc::figure::{render_sign, MarshallingSign, ViewSpec};
+use hdc::vision::{PipelineConfig, RecognitionPipeline};
+
+fn main() {
+    let mut pipeline = RecognitionPipeline::new(PipelineConfig::default());
+    pipeline.calibrate_from_views(&ViewSpec::paper_default(0.0, 5.0, 3.0));
+
+    println!("sign: No | altitude 5 m | distance 3 m | canonical reference at 0°\n");
+    println!("{:>8} {:>10} {:>10} {:>14} {:>10}", "azimuth", "distance", "lower bd", "decision", "SAX word");
+
+    let mut last_reliable = 0.0f64;
+    for az in (0..=90).step_by(5) {
+        let view = ViewSpec::paper_default(az as f64, 5.0, 3.0);
+        let frame = render_sign(MarshallingSign::No, &view);
+        let result = pipeline.recognize(&frame);
+        let best = result.best.as_ref();
+        let decision = result.decision.as_deref().unwrap_or("-");
+        if decision == "No" {
+            last_reliable = az as f64;
+        }
+        println!(
+            "{:>7}° {:>10.3} {:>10.3} {:>14} {:>10}",
+            az,
+            best.map(|m| m.distance).unwrap_or(f64::NAN),
+            best.map(|m| m.lower_bound).unwrap_or(f64::NAN),
+            decision,
+            result.word.map(|w| w.to_string()).unwrap_or_default(),
+        );
+    }
+
+    // the silhouette is front/back symmetric, so the recognisable arcs are
+    // ±critical around 0° and 180°; the rest is dead
+    let dead = 360.0 - 4.0 * last_reliable;
+    println!("\ncritical azimuth : {last_reliable:.0}° (paper: 65°)");
+    println!("dead angle        : {dead:.0}° of the full circle (paper: ~100°)");
+    println!("\nThe paper also notes the SAX string in the dead zone does not hint at");
+    println!("which way the drone should fly to recover — the words above go erratic");
+    println!("rather than drifting monotonically.");
+}

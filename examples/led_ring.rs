@@ -1,0 +1,51 @@
+//! The all-round LED ring of Figure 1: navigation colours an observer sees
+//! from different bearings, the all-red danger mode, and the discarded
+//! vertical take-off/landing array with its confusion problem.
+//!
+//! Run with: `cargo run --release --example led_ring`
+
+use hdc::drone::{
+    LedMode, LedRing, VerticalAnimation, VerticalArray,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("=== navigation ring (drone heading east) ===");
+    let ring = LedRing::new(LedMode::Navigation);
+    println!("body-frame snapshot (from nose, clockwise): {}", ring.snapshot());
+    println!("\nobserver bearing → colour seen:");
+    for bearing_deg in (0..360).step_by(45) {
+        let bearing = (bearing_deg as f64).to_radians();
+        let color = ring.color_toward(0.0, bearing);
+        println!("  {bearing_deg:>3}°  {color}");
+    }
+
+    println!("\n=== danger mode (safety function triggered) ===");
+    let danger = LedRing::new(LedMode::Danger);
+    println!("snapshot: {}", danger.snapshot());
+    println!("default mode is danger (fail-safe): {:?}", LedRing::default().mode());
+
+    println!("\n=== the discarded vertical array ===");
+    let up = VerticalArray::new(VerticalAnimation::TakeOff);
+    println!("take-off sweep over one period:");
+    for step in 0..5 {
+        let t = step as f64 * 0.2;
+        let frame = up.frame(t);
+        let bar: String = frame.iter().map(|on| if *on { '#' } else { '.' }).collect();
+        println!("  t={t:.1}s  [{bar}]  (bottom→top)");
+    }
+
+    println!("\nobserver accuracy vs observation noise (why it was discarded):");
+    println!("{:>12} {:>12}", "flip prob", "accuracy");
+    let mut rng = SmallRng::seed_from_u64(1);
+    for flip in [0.0, 0.1, 0.2, 0.3, 0.4] {
+        let trials = 400;
+        let correct = (0..trials)
+            .filter(|_| {
+                up.observe_direction(3, 0.45, flip, &mut rng) == Some(VerticalAnimation::TakeOff)
+            })
+            .count();
+        println!("{:>12.1} {:>11.0}%", flip, 100.0 * correct as f64 / trials as f64);
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: recognise a marshalling sign from a rendered drone-camera
+//! frame, exactly as the paper's Figure 4 setup (altitude 5 m, horizontal
+//! distance 3 m).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hdc::figure::{render_sign, MarshallingSign, ViewSpec};
+use hdc::raster::threshold::binarize;
+use hdc::raster::{io::ascii_art, largest_component, Connectivity};
+use hdc::vision::{PipelineConfig, RecognitionPipeline};
+
+fn main() {
+    // 1. Calibrate the pipeline from the canonical 0°-azimuth views.
+    let canonical = ViewSpec::paper_default(0.0, 5.0, 3.0);
+    let mut pipeline = RecognitionPipeline::new(PipelineConfig::default());
+    pipeline.calibrate_from_views(&canonical);
+    println!(
+        "calibrated: {} templates, acceptance threshold {:.2}\n",
+        pipeline.template_count(),
+        pipeline.config().accept_threshold
+    );
+
+    // 2. Render each sign as the drone camera would see it and recognise it.
+    for sign in MarshallingSign::ALL {
+        let frame = render_sign(sign, &canonical);
+        let result = pipeline.recognize(&frame);
+        println!(
+            "shown: {:<16} recognised: {:<16} distance {:>6.3}   [{}]",
+            sign.label(),
+            result.decision.as_deref().unwrap_or("(rejected)"),
+            result.best.as_ref().map(|m| m.distance).unwrap_or(f64::NAN),
+            result.timings
+        );
+        if let Some(word) = &result.word {
+            println!("  SAX word: {word}");
+        }
+    }
+
+    // 3. Show one silhouette as ASCII art (downsampled) for the curious.
+    let frame = render_sign(MarshallingSign::No, &canonical);
+    let mask = binarize(&frame, 128);
+    let (blob, comp) = largest_component(&mask, Connectivity::Eight).expect("figure visible");
+    println!("\n'No' silhouette ({} px, bbox {:?}):", comp.area, comp.bbox);
+    // crop + downsample by 4 for the terminal
+    let mut small = hdc::raster::Bitmap::new(
+        (comp.width() / 4).max(1),
+        (comp.height() / 4).max(1),
+    );
+    for y in 0..small.height() {
+        for x in 0..small.width() {
+            let sx = comp.bbox.0 + x * 4;
+            let sy = comp.bbox.1 + y * 4;
+            small.set(x, y, blob.get(sx, sy) == Some(true));
+        }
+    }
+    println!("{}", ascii_art(&small));
+}

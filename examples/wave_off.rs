@@ -1,0 +1,50 @@
+//! Dynamic marshalling signals (the paper's future work): a worker waves the
+//! drone off mid-negotiation. The temporal recogniser reads the oscillation
+//! and the protocol treats it as an emphatic "no, go away" from any state.
+//!
+//! Run with: `cargo run --release --example wave_off`
+
+use hdc::core::{NegotiationConfig, NegotiationMachine, NegotiationState};
+use hdc::figure::{render_pose, MarshallingSign, Pose, ViewSpec};
+use hdc::raster::threshold::binarize;
+use hdc::vision::dynamic::{DynamicConfig, DynamicDecision, DynamicRecognizer};
+
+fn main() {
+    let view = ViewSpec::paper_default(0.0, 5.0, 3.0);
+    let mut recognizer = DynamicRecognizer::new(DynamicConfig::default());
+
+    println!("phase 1: the worker holds the static 'AttentionGained' sign");
+    for i in 0..20 {
+        let t = i as f64 * 0.1;
+        let frame = render_pose(Pose::for_sign(MarshallingSign::AttentionGained), &view);
+        recognizer.push(t, &binarize(&frame, 128));
+    }
+    println!("  window decision: {:?}\n", recognizer.decision());
+
+    println!("phase 2: the worker starts waving the drone off (1 Hz)");
+    recognizer.reset();
+    let mut detected_at = None;
+    for i in 0..30 {
+        let t = i as f64 * 0.1;
+        let frame = render_pose(Pose::wave_off_phase(t), &view);
+        recognizer.push(t, &binarize(&frame, 128));
+        if detected_at.is_none() && recognizer.decision() == DynamicDecision::WaveOff {
+            detected_at = Some(t);
+        }
+    }
+    match detected_at {
+        Some(t) => println!("  wave-off detected after {t:.1} s of waving\n"),
+        None => println!("  wave-off NOT detected\n"),
+    }
+
+    println!("phase 3: the protocol reacts");
+    let mut machine = NegotiationMachine::new(NegotiationConfig::default());
+    machine.start(0.0);
+    machine.on_arrived(2.0);
+    machine.on_pattern_complete(4.0);
+    println!("  state before wave-off: {}", machine.state());
+    let actions = machine.on_wave_off(5.0);
+    println!("  wave-off actions     : {actions:?}");
+    println!("  state after wave-off : {}", machine.state());
+    assert_eq!(machine.state(), NegotiationState::Denied);
+}

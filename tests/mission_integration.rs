@@ -1,0 +1,86 @@
+//! Orchard-level integration: missions with the statistical and the full
+//! closed-loop negotiation backends.
+
+use hdc::core::{Role, SessionOutcome};
+use hdc::geometry::Vec2;
+use hdc::orchard::{
+    FullLoopNegotiation, HumanActor, Mission, MissionConfig, NegotiationBackend, OrchardMap,
+    StatisticalNegotiation,
+};
+
+#[test]
+fn full_loop_backend_grants_to_a_consenting_supervisor() {
+    let mut backend = FullLoopNegotiation;
+    let mut actor = HumanActor::new(0, Role::Supervisor, Vec2::new(5.0, 5.0));
+    actor.will_consent = true;
+    let outcome = backend.negotiate(&actor, 3);
+    assert_eq!(outcome, SessionOutcome::Granted);
+}
+
+#[test]
+fn full_loop_backend_respects_refusal() {
+    let mut backend = FullLoopNegotiation;
+    let mut actor = HumanActor::new(0, Role::Supervisor, Vec2::new(5.0, 5.0));
+    actor.will_consent = false;
+    let outcome = backend.negotiate(&actor, 4);
+    assert_eq!(outcome, SessionOutcome::Denied);
+}
+
+#[test]
+fn statistical_backend_matches_full_loop_for_supervisors() {
+    // the fast statistical model should agree with the closed loop on the
+    // easiest population (supervisors): near-certain resolution
+    let mut stat = StatisticalNegotiation;
+    let mut grants = 0;
+    let n = 50;
+    for seed in 0..n {
+        let mut actor = HumanActor::new(0, Role::Supervisor, Vec2::ZERO);
+        actor.will_consent = true;
+        if stat.negotiate(&actor, seed) == SessionOutcome::Granted {
+            grants += 1;
+        }
+    }
+    assert!(grants as f64 / n as f64 > 0.9, "statistical grant rate {grants}/{n}");
+}
+
+#[test]
+fn mission_with_full_loop_backend_completes() {
+    // a tiny orchard with one stationary worker standing on a trap
+    let map = OrchardMap::grid(1, 2, 4.0, 6.0);
+    let mut cfg = MissionConfig::default();
+    cfg.human_count = 0; // we inject our own blocker through the backend
+    let mut mission = Mission::with_backend(cfg, map, 5, Box::new(FullLoopNegotiation));
+    let stats = mission.run();
+    assert_eq!(stats.traps_read, 2);
+}
+
+#[test]
+fn crowding_monotonically_increases_negotiation_load() {
+    let run = |people: u32| {
+        let map = OrchardMap::grid(3, 4, 4.0, 3.0);
+        let mut cfg = MissionConfig::default();
+        cfg.human_count = people;
+        cfg.blocking_radius_m = 4.0;
+        Mission::new(cfg, map, 17).run()
+    };
+    let quiet = run(0);
+    let busy = run(10);
+    assert_eq!(quiet.negotiations.total(), 0);
+    assert!(busy.negotiations.total() > 0);
+    assert!(busy.traps_read <= quiet.traps_read);
+}
+
+#[test]
+fn every_trap_is_accounted_for() {
+    for people in [0u32, 3, 7] {
+        let map = OrchardMap::grid(3, 3, 4.0, 3.0);
+        let mut cfg = MissionConfig::default();
+        cfg.human_count = people;
+        let stats = Mission::new(cfg, map, 23).run();
+        assert_eq!(
+            stats.traps_read + stats.traps_skipped,
+            9,
+            "people={people}: every trap is read or consciously skipped"
+        );
+    }
+}

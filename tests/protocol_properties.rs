@@ -1,0 +1,155 @@
+//! Property-based tests of the negotiation protocol: for *any* interleaving
+//! of events, the safety-critical invariants hold.
+
+use hdc::core::{NegotiationConfig, NegotiationMachine, ProtocolAction, SessionOutcome};
+use hdc::figure::MarshallingSign;
+use proptest::prelude::*;
+
+/// An abstract protocol stimulus.
+#[derive(Debug, Clone, Copy)]
+enum Stimulus {
+    Arrived,
+    PatternComplete,
+    Sign(Option<MarshallingSign>),
+    Clock(f64),
+    Safety,
+}
+
+fn stimulus() -> impl Strategy<Value = Stimulus> {
+    prop_oneof![
+        2 => Just(Stimulus::Arrived),
+        4 => Just(Stimulus::PatternComplete),
+        2 => Just(Stimulus::Sign(Some(MarshallingSign::AttentionGained))),
+        2 => Just(Stimulus::Sign(Some(MarshallingSign::Yes))),
+        2 => Just(Stimulus::Sign(Some(MarshallingSign::No))),
+        2 => Just(Stimulus::Sign(None)),
+        3 => (0.1f64..20.0).prop_map(Stimulus::Clock),
+        1 => Just(Stimulus::Safety),
+    ]
+}
+
+/// Replays a stimulus sequence, collecting every action with the machine
+/// state *at the moment the action was emitted*.
+fn replay(seq: &[Stimulus]) -> (NegotiationMachine, Vec<(f64, ProtocolAction, bool)>) {
+    let mut m = NegotiationMachine::new(NegotiationConfig::default());
+    let mut now = 0.0;
+    let mut actions = Vec::new();
+    let mut yes_seen = false;
+    let record = |now: f64, acts: Vec<ProtocolAction>, yes_seen: bool, out: &mut Vec<(f64, ProtocolAction, bool)>| {
+        for a in acts {
+            out.push((now, a, yes_seen));
+        }
+    };
+    record(now, m.start(now), yes_seen, &mut actions);
+    for s in seq {
+        now += 0.1;
+        match s {
+            Stimulus::Arrived => record(now, m.on_arrived(now), yes_seen, &mut actions),
+            Stimulus::PatternComplete => {
+                record(now, m.on_pattern_complete(now), yes_seen, &mut actions)
+            }
+            Stimulus::Sign(sign) => {
+                // note Yes *before* recording, so an EnterArea caused by this
+                // very sign counts as justified
+                if *sign == Some(MarshallingSign::Yes) {
+                    // only counts when the machine is actually listening
+                    if m.state() == hdc::core::NegotiationState::AwaitingAnswer {
+                        yes_seen = true;
+                    }
+                }
+                record(now, m.on_sign(*sign, now), yes_seen, &mut actions);
+            }
+            Stimulus::Clock(dt) => {
+                now += dt;
+                record(now, m.poll(now), yes_seen, &mut actions);
+            }
+            Stimulus::Safety => record(now, m.on_safety(now), yes_seen, &mut actions),
+        }
+    }
+    (m, actions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn never_enters_without_a_listened_yes(seq in prop::collection::vec(stimulus(), 0..60)) {
+        let (_, actions) = replay(&seq);
+        for (t, action, yes_seen) in &actions {
+            if *action == ProtocolAction::EnterArea {
+                prop_assert!(yes_seen, "EnterArea at t={t} without a Yes while awaiting answer");
+            }
+        }
+    }
+
+    #[test]
+    fn safety_always_terminal_and_lands(seq in prop::collection::vec(stimulus(), 0..60)) {
+        let (m, actions) = replay(&seq);
+        let safety_fired = seq.iter().any(|s| matches!(s, Stimulus::Safety));
+        if safety_fired {
+            // after a safety stimulus the machine is terminal...
+            prop_assert!(m.state().is_terminal());
+            // ...and if the machine was still live when it fired, it landed
+            let landed = actions.iter().any(|(_, a, _)| *a == ProtocolAction::DangerLand);
+            let was_terminal_before = {
+                // replay without the tail after the first safety to see the state then
+                let first_safety = seq.iter().position(|s| matches!(s, Stimulus::Safety)).unwrap();
+                let (m2, _) = replay(&seq[..first_safety]);
+                m2.state().is_terminal()
+            };
+            prop_assert!(landed || was_terminal_before);
+        }
+    }
+
+    #[test]
+    fn terminal_states_are_absorbing(seq in prop::collection::vec(stimulus(), 0..80)) {
+        let mut m = NegotiationMachine::new(NegotiationConfig::default());
+        let mut now = 0.0;
+        m.start(now);
+        let mut terminal_since: Option<usize> = None;
+        for (i, s) in seq.iter().enumerate() {
+            now += 0.2;
+            let actions = match s {
+                Stimulus::Arrived => m.on_arrived(now),
+                Stimulus::PatternComplete => m.on_pattern_complete(now),
+                Stimulus::Sign(sign) => m.on_sign(*sign, now),
+                Stimulus::Clock(dt) => {
+                    now += dt;
+                    m.poll(now)
+                }
+                Stimulus::Safety => m.on_safety(now),
+            };
+            if let Some(since) = terminal_since {
+                prop_assert!(
+                    actions.is_empty(),
+                    "terminal at step {since} but step {i} emitted {actions:?}"
+                );
+            }
+            if m.state().is_terminal() && terminal_since.is_none() {
+                terminal_since = Some(i);
+            }
+        }
+    }
+
+    #[test]
+    fn outcome_matches_state(seq in prop::collection::vec(stimulus(), 0..60)) {
+        let (m, _) = replay(&seq);
+        let outcome = m.outcome();
+        prop_assert_eq!(m.state().is_terminal(), outcome != SessionOutcome::StillRunning);
+    }
+
+    #[test]
+    fn pokes_and_requests_are_bounded(seq in prop::collection::vec(stimulus(), 0..120)) {
+        let (_, actions) = replay(&seq);
+        let cfg = NegotiationConfig::default();
+        let pokes = actions.iter().filter(|(_, a, _)| *a == ProtocolAction::ExecutePoke).count();
+        let rects = actions.iter().filter(|(_, a, _)| *a == ProtocolAction::ExecuteRectangle).count();
+        prop_assert!(pokes <= cfg.max_poke_attempts as usize, "{pokes} pokes");
+        // a fresh attention grant resets nothing, but requests are bounded per grant;
+        // with at most max_poke_attempts grants the global bound is their product
+        prop_assert!(
+            rects <= (cfg.max_request_attempts as usize) * (cfg.max_poke_attempts as usize) + 1,
+            "{rects} rectangles"
+        );
+    }
+}

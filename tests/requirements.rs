@@ -1,0 +1,164 @@
+//! Requirement traceability: one integration check per derived requirement
+//! (R1–R10 in `hdc_core::REQUIREMENTS`).
+
+use hdc::core::{
+    NegotiationConfig, NegotiationMachine, ProtocolAction, RequirementId, REQUIREMENTS,
+};
+use hdc::drone::{
+    Drone, DroneConfig, DroneEvent, FlightPattern, LedColor, LedMode, LedRing, VerticalAnimation,
+    VerticalArray,
+};
+use hdc::figure::{render_sign, MarshallingSign, ViewSpec};
+use hdc::vision::{FrameBudget, PipelineConfig, RecognitionPipeline};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn registry_is_complete() {
+    assert_eq!(REQUIREMENTS.len(), 10);
+    for (i, r) in REQUIREMENTS.iter().enumerate() {
+        assert_eq!(r.id, RequirementId(i as u8 + 1));
+    }
+}
+
+#[test]
+fn r1_direction_readable_from_lights() {
+    // flying east vs west flips the colour a fixed observer sees
+    let ring = LedRing::new(LedMode::Navigation);
+    let north_observer = std::f64::consts::FRAC_PI_2;
+    let east = ring.color_toward(0.0, north_observer);
+    let west = ring.color_toward(std::f64::consts::PI, north_observer);
+    assert_eq!(east, LedColor::Red);
+    assert_eq!(west, LedColor::Green);
+}
+
+#[test]
+fn r2_danger_is_default_and_forced_on_trigger() {
+    assert_eq!(LedRing::default().mode(), LedMode::Danger);
+    let mut drone = Drone::new(DroneConfig::default());
+    drone.execute_pattern(FlightPattern::TakeOff { target_altitude: 4.0 });
+    while drone.is_executing() {
+        drone.tick(0.05);
+    }
+    drone.trigger_safety("test");
+    assert_eq!(drone.ring().mode(), LedMode::Danger);
+}
+
+#[test]
+fn r3_no_request_before_attention() {
+    let mut m = NegotiationMachine::new(NegotiationConfig::default());
+    m.start(0.0);
+    m.on_arrived(1.0);
+    m.on_pattern_complete(2.0);
+    // a premature Yes must not produce the rectangle or entry
+    let actions = m.on_sign(Some(MarshallingSign::Yes), 3.0);
+    assert!(actions.is_empty());
+}
+
+#[test]
+fn r4_entry_requires_yes() {
+    let mut m = NegotiationMachine::new(NegotiationConfig::default());
+    m.start(0.0);
+    m.on_arrived(1.0);
+    m.on_pattern_complete(2.0);
+    m.on_sign(Some(MarshallingSign::AttentionGained), 3.0);
+    m.on_pattern_complete(4.0);
+    let no_actions = m.on_sign(Some(MarshallingSign::No), 5.0);
+    assert!(!no_actions.contains(&ProtocolAction::EnterArea));
+    assert!(no_actions.contains(&ProtocolAction::Retreat));
+}
+
+#[test]
+fn r5_lights_out_only_after_rotors_stop() {
+    let mut drone = Drone::new(DroneConfig::default());
+    drone.execute_pattern(FlightPattern::TakeOff { target_altitude: 3.0 });
+    while drone.is_executing() {
+        drone.tick(0.05);
+    }
+    drone.drain_events();
+    drone.execute_pattern(FlightPattern::Landing);
+    while drone.is_executing() {
+        drone.tick(0.05);
+    }
+    let events = drone.drain_events();
+    let rotors = events.iter().position(|e| *e == DroneEvent::RotorsStopped).unwrap();
+    let lights = events.iter().position(|e| *e == DroneEvent::LightsOut).unwrap();
+    assert!(rotors < lights);
+}
+
+#[test]
+fn r6_minimum_sign_set_is_three_unique_signs() {
+    assert_eq!(MarshallingSign::ALL.len(), 3);
+    let mut p = RecognitionPipeline::new(PipelineConfig::default());
+    p.calibrate_from_views(&ViewSpec::paper_default(0.0, 5.0, 3.0));
+    let words: Vec<String> = p
+        .index()
+        .templates()
+        .iter()
+        .map(|t| t.word.to_string())
+        .collect();
+    let mut unique = words.clone();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(unique.len(), 3, "words: {words:?}");
+}
+
+#[test]
+fn r7_denial_leads_to_retreat() {
+    let mut m = NegotiationMachine::new(NegotiationConfig::default());
+    m.start(0.0);
+    m.on_arrived(1.0);
+    m.on_pattern_complete(2.0);
+    m.on_sign(Some(MarshallingSign::AttentionGained), 3.0);
+    m.on_pattern_complete(4.0);
+    let actions = m.on_sign(Some(MarshallingSign::No), 5.0);
+    assert!(actions.contains(&ProtocolAction::Retreat));
+}
+
+#[test]
+fn r8_realtime_budget_met() {
+    let mut p = RecognitionPipeline::new(PipelineConfig::default());
+    p.calibrate_from_views(&ViewSpec::paper_default(0.0, 5.0, 3.0));
+    let frame = render_sign(MarshallingSign::No, &ViewSpec::paper_default(0.0, 5.0, 3.0));
+    // median of a few runs to dodge scheduler noise; debug builds are slower,
+    // so measure against the 30 fps budget with generous headroom in release
+    // and a 3 fps sanity floor in debug
+    let mut totals: Vec<u64> = (0..9).map(|_| p.recognize(&frame).timings.total_us()).collect();
+    totals.sort_unstable();
+    let median = totals[4];
+    let budget = if cfg!(debug_assertions) {
+        FrameBudget::from_fps(3.0)
+    } else {
+        FrameBudget::thirty_fps()
+    };
+    assert!(
+        budget.budget_us() >= median,
+        "median {median} µs exceeds budget {} µs",
+        budget.budget_us()
+    );
+}
+
+#[test]
+fn r9_ambiguous_views_rejected_not_guessed() {
+    let mut p = RecognitionPipeline::new(PipelineConfig::default());
+    p.calibrate_from_views(&ViewSpec::paper_default(0.0, 5.0, 3.0));
+    // near the side view all signs collapse; the pipeline must reject, not pick
+    for sign in MarshallingSign::ALL {
+        let frame = render_sign(sign, &ViewSpec::paper_default(80.0, 5.0, 3.0));
+        assert_eq!(p.recognize(&frame).decision, None, "{sign} at 80°");
+    }
+}
+
+#[test]
+fn r10_vertical_array_unreliable_under_noise() {
+    let mut rng = SmallRng::seed_from_u64(10);
+    let arr = VerticalArray::new(VerticalAnimation::Landing);
+    let trials = 200;
+    let correct = (0..trials)
+        .filter(|_| arr.observe_direction(3, 0.45, 0.3, &mut rng) == Some(VerticalAnimation::Landing))
+        .count();
+    assert!(
+        (correct as f64) < 0.7 * trials as f64,
+        "the discarded array must not be reliable: {correct}/{trials}"
+    );
+}
