@@ -35,8 +35,12 @@ fn bench_baselines(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("baselines_classify");
     group.bench_function("sax", |b| b.iter(|| sax.classify(&query)));
-    group.bench_function("dtw_banded_stride8", |b| b.iter(|| dtw_tight.classify(&query)));
-    group.bench_function("dtw_full_exhaustive", |b| b.iter(|| dtw_full.classify(&query)));
+    group.bench_function("dtw_banded_stride8", |b| {
+        b.iter(|| dtw_tight.classify(&query))
+    });
+    group.bench_function("dtw_full_exhaustive", |b| {
+        b.iter(|| dtw_full.classify(&query))
+    });
     group.bench_function("hu_moments", |b| b.iter(|| hu.classify(&query)));
     group.bench_function("zoning_4x4", |b| b.iter(|| zoning.classify(&query)));
     group.finish();

@@ -18,7 +18,10 @@ fn calibrated() -> RecognitionPipeline {
 fn bench_fig4(c: &mut Criterion) {
     let pipeline = calibrated();
     let frame0 = render_sign(MarshallingSign::No, &ViewSpec::paper_default(0.0, 5.0, 3.0));
-    let frame65 = render_sign(MarshallingSign::No, &ViewSpec::paper_default(65.0, 5.0, 3.0));
+    let frame65 = render_sign(
+        MarshallingSign::No,
+        &ViewSpec::paper_default(65.0, 5.0, 3.0),
+    );
 
     let mut group = c.benchmark_group("fig4_no_sign");
     group.bench_function("recognize_azimuth_0", |b| {

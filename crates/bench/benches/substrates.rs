@@ -21,11 +21,15 @@ fn bench_raster(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("raster");
     group.bench_function("binarize_640x480", |b| b.iter(|| binarize(&frame, 128)));
-    group.bench_function("otsu_threshold_640x480", |b| b.iter(|| otsu_threshold(&frame)));
+    group.bench_function("otsu_threshold_640x480", |b| {
+        b.iter(|| otsu_threshold(&frame))
+    });
     group.bench_function("label_components_640x480", |b| {
         b.iter(|| label_components(&mask, Connectivity::Eight))
     });
-    group.bench_function("trace_outer_contour", |b| b.iter(|| trace_outer_contour(&blob)));
+    group.bench_function("trace_outer_contour", |b| {
+        b.iter(|| trace_outer_contour(&blob))
+    });
     group.bench_function("fill_disk_r40", |b| {
         b.iter(|| {
             let mut img = GrayImage::new(128, 128);
@@ -38,7 +42,9 @@ fn bench_raster(c: &mut Criterion) {
 
 fn bench_series(c: &mut Criterion) {
     let raw: Vec<f64> = (0..700).map(|i| (i as f64 * 0.05).sin()).collect();
-    let z128 = TimeSeries::new(resample(&raw, 128)).znormalized().into_values();
+    let z128 = TimeSeries::new(resample(&raw, 128))
+        .znormalized()
+        .into_values();
     let other: Vec<f64> = (0..128).map(|i| (i as f64 * 0.11).cos()).collect();
 
     let mut group = c.benchmark_group("timeseries");
@@ -47,7 +53,9 @@ fn bench_series(c: &mut Criterion) {
         b.iter(|| TimeSeries::new(z128.clone()).znormalized())
     });
     group.bench_function("paa_128_to_16", |b| b.iter(|| paa(&z128, 16)));
-    group.bench_function("dtw_full_128", |b| b.iter(|| dtw_banded(&z128, &other, usize::MAX)));
+    group.bench_function("dtw_full_128", |b| {
+        b.iter(|| dtw_banded(&z128, &other, usize::MAX))
+    });
     group.bench_function("dtw_band8_128", |b| b.iter(|| dtw_banded(&z128, &other, 8)));
     group.finish();
 }

@@ -21,9 +21,11 @@ fn bench_encode(c: &mut Criterion) {
     let mut group = c.benchmark_group("sax_encode");
     for (w, a) in [(8usize, 4u8), (16, 4), (32, 8), (64, 12)] {
         let enc = SaxEncoder::new(SaxParams::new(w, a).unwrap());
-        group.bench_with_input(BenchmarkId::new("encode", format!("w{w}_a{a}")), &data, |b, d| {
-            b.iter(|| enc.encode(d))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("encode", format!("w{w}_a{a}")),
+            &data,
+            |b, d| b.iter(|| enc.encode(d)),
+        );
     }
     group.finish();
 }

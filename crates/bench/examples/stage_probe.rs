@@ -1,0 +1,68 @@
+//! Prints per-stage timings for the optimised path and hand-timed stages of
+//! the seed path, to locate where the time goes at each resolution.
+
+use hdc_bench::throughput::benchmark_pipeline;
+use hdc_figure::{render_sign, MarshallingSign, ViewSpec};
+use hdc_raster::threshold::binarize;
+use hdc_raster::{label_components_bfs, largest_component, Connectivity};
+use hdc_vision::FrameScratch;
+use std::time::Instant;
+
+fn main() {
+    let pipeline = benchmark_pipeline();
+    for (w, h) in [(320u32, 240u32), (640, 480), (1280, 960)] {
+        let mut v = ViewSpec::paper_default(0.0, 5.0, 3.0);
+        v.width = w;
+        v.height = h;
+        v.focal_px = w as f64;
+        let frame = render_sign(MarshallingSign::No, &v);
+
+        let mut scratch = FrameScratch::new();
+        // warm-up
+        for _ in 0..5 {
+            pipeline.recognize_with(&mut scratch, &frame);
+        }
+        let reps = 50;
+        let mut acc = hdc_vision::StageTimings::default();
+        let t = Instant::now();
+        for _ in 0..reps {
+            let r = pipeline.recognize_with(&mut scratch, &frame);
+            let ti = r.timings;
+            acc.segment_us += ti.segment_us;
+            acc.component_us += ti.component_us;
+            acc.contour_us += ti.contour_us;
+            acc.signature_us += ti.signature_us;
+            acc.classify_us += ti.classify_us;
+        }
+        let opt_total = t.elapsed().as_secs_f64() * 1e6 / reps as f64;
+        println!(
+            "{w}x{h} optimised ({opt_total:.0}us/frame): segment {} | component {} | contour {} | signature {} | classify {}",
+            acc.segment_us / reps,
+            acc.component_us / reps,
+            acc.contour_us / reps,
+            acc.signature_us / reps,
+            acc.classify_us / reps
+        );
+
+        // seed stages, hand-timed
+        let t0 = Instant::now();
+        let mut mask = binarize(&frame, 128);
+        for _ in 1..reps {
+            mask = binarize(&frame, 128);
+        }
+        let seg = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+        let t1 = Instant::now();
+        for _ in 0..reps {
+            let _ = label_components_bfs(&mask, Connectivity::Eight);
+        }
+        let bfs = t1.elapsed().as_secs_f64() * 1e6 / reps as f64;
+        let t2 = Instant::now();
+        for _ in 0..reps {
+            let _ = largest_component(&mask, Connectivity::Eight);
+        }
+        let lc = t2.elapsed().as_secs_f64() * 1e6 / reps as f64;
+        println!(
+            "{w}x{h} seed: binarize {seg:.0}us | label_bfs {bfs:.0}us | largest_component(new) {lc:.0}us"
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Sustained-throughput benchmark for the recognition pipeline.
+//!
+//! Measures the seed implementation (rebuilt from the retained reference
+//! oracles) against the optimised scratch-reuse path at 320×240, 640×480 and
+//! 1280×960, prints a comparison table and writes the JSON report.
+//!
+//! Usage: `cargo run --release -p hdc-bench --bin bench_recognize [out.json]`
+//! (default output path `BENCH_recognize.json` in the current directory).
+
+use hdc_bench::report::{num, Table};
+use hdc_bench::throughput::{run_sweep, to_json};
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_recognize.json".to_string());
+
+    // Floors per resolution pass: enough whole cycles for stable averages
+    // without letting the slow seed path at 1280×960 run for minutes.
+    let results = run_sweep(45, 2.0);
+
+    let mut table = Table::new([
+        "resolution",
+        "seed fps",
+        "seed ms/frame",
+        "optimised fps",
+        "optimised ms/frame",
+        "speedup",
+    ]);
+    for r in &results {
+        table.row([
+            format!("{}x{}", r.width, r.height),
+            num(r.seed.fps(), 1),
+            num(r.seed.ms_per_frame(), 3),
+            num(r.optimized.fps(), 1),
+            num(r.optimized.ms_per_frame(), 3),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let json = to_json(&results);
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    println!("wrote {out_path}");
+}

@@ -10,8 +10,8 @@ use hdc_core::{
     CollaborationSession, LogEntry, ProtocolAction, Role, SessionConfig, SessionOutcome,
 };
 use hdc_drone::{
-    Drone, DroneConfig, DroneEvent, FlightPattern, LedColor, LedMode, LedRing,
-    VerticalAnimation, VerticalArray,
+    Drone, DroneConfig, DroneEvent, FlightPattern, LedColor, LedMode, LedRing, VerticalAnimation,
+    VerticalArray,
 };
 use hdc_figure::{render_pose, render_sign, MarshallingSign, Pose, ViewSpec};
 use hdc_raster::noise;
@@ -38,25 +38,82 @@ impl fmt::Display for ExperimentId {
 /// All experiment ids with one-line descriptions.
 pub fn all_experiments() -> Vec<(ExperimentId, &'static str)> {
     vec![
-        (ExperimentId(1), "Figure 4: 'No' at 0 vs 65 degrees - series, words, decisions"),
-        (ExperimentId(2), "altitude window of recognition (paper: 2-5 m)"),
-        (ExperimentId(3), "azimuth sweep and dead angle (paper: erratic > 65 deg, ~100 deg dead)"),
-        (ExperimentId(4), "recognition latency and frame-rate budgets (paper: 38/27 ms, 30/60 fps)"),
-        (ExperimentId(5), "uniqueness of the three signs' SAX strings"),
-        (ExperimentId(6), "Figure 1: LED ring navigation colours and danger mode"),
-        (ExperimentId(7), "Figure 2: landing pattern timeline (rotors off before lights out)"),
-        (ExperimentId(8), "Figure 3: negotiation traces and outcome statistics by role"),
-        (ExperimentId(9), "vertical LED array confusion (why it was discarded)"),
-        (ExperimentId(10), "tuning PAA segments and alphabet size (paper ref [22])"),
-        (ExperimentId(11), "SAX vs classical baselines: accuracy and cost"),
-        (ExperimentId(12), "safety fault injection: all-red + landing invariants"),
-        (ExperimentId(13), "extension: RGB status colours vs the vertical array (paper future work)"),
-        (ExperimentId(14), "extension: IMU-derived flight state for honest lights (paper open issue)"),
-        (ExperimentId(15), "extension: minimum-sign-set economics - database size vs lookup cost"),
-        (ExperimentId(16), "extension: dynamic wave-off gesture detection (paper future work)"),
-        (ExperimentId(17), "extension: fleet scaling - makespan and energy vs drone count"),
-        (ExperimentId(18), "extension: facing-error sensitivity - dead angle to protocol coupling"),
-        (ExperimentId(19), "extension: anthropometric robustness - other bodies vs the calibrated templates"),
+        (
+            ExperimentId(1),
+            "Figure 4: 'No' at 0 vs 65 degrees - series, words, decisions",
+        ),
+        (
+            ExperimentId(2),
+            "altitude window of recognition (paper: 2-5 m)",
+        ),
+        (
+            ExperimentId(3),
+            "azimuth sweep and dead angle (paper: erratic > 65 deg, ~100 deg dead)",
+        ),
+        (
+            ExperimentId(4),
+            "recognition latency and frame-rate budgets (paper: 38/27 ms, 30/60 fps)",
+        ),
+        (
+            ExperimentId(5),
+            "uniqueness of the three signs' SAX strings",
+        ),
+        (
+            ExperimentId(6),
+            "Figure 1: LED ring navigation colours and danger mode",
+        ),
+        (
+            ExperimentId(7),
+            "Figure 2: landing pattern timeline (rotors off before lights out)",
+        ),
+        (
+            ExperimentId(8),
+            "Figure 3: negotiation traces and outcome statistics by role",
+        ),
+        (
+            ExperimentId(9),
+            "vertical LED array confusion (why it was discarded)",
+        ),
+        (
+            ExperimentId(10),
+            "tuning PAA segments and alphabet size (paper ref [22])",
+        ),
+        (
+            ExperimentId(11),
+            "SAX vs classical baselines: accuracy and cost",
+        ),
+        (
+            ExperimentId(12),
+            "safety fault injection: all-red + landing invariants",
+        ),
+        (
+            ExperimentId(13),
+            "extension: RGB status colours vs the vertical array (paper future work)",
+        ),
+        (
+            ExperimentId(14),
+            "extension: IMU-derived flight state for honest lights (paper open issue)",
+        ),
+        (
+            ExperimentId(15),
+            "extension: minimum-sign-set economics - database size vs lookup cost",
+        ),
+        (
+            ExperimentId(16),
+            "extension: dynamic wave-off gesture detection (paper future work)",
+        ),
+        (
+            ExperimentId(17),
+            "extension: fleet scaling - makespan and energy vs drone count",
+        ),
+        (
+            ExperimentId(18),
+            "extension: facing-error sensitivity - dead angle to protocol coupling",
+        ),
+        (
+            ExperimentId(19),
+            "extension: anthropometric robustness - other bodies vs the calibrated templates",
+        ),
     ]
 }
 
@@ -100,7 +157,14 @@ pub fn e1_fig4_no_sign() -> String {
     let mut out = String::from(
         "E1 | Figure 4: 'No' at relative azimuth 0 deg and 65 deg (altitude 5 m, distance 3 m)\n\n",
     );
-    let mut table = Table::new(["azimuth", "contour px", "SAX word", "best", "distance", "decision"]);
+    let mut table = Table::new([
+        "azimuth",
+        "contour px",
+        "SAX word",
+        "best",
+        "distance",
+        "decision",
+    ]);
     let mut series_rows: Vec<(f64, Vec<f64>)> = Vec::new();
     for az in [0.0, 65.0] {
         let frame = render_sign(MarshallingSign::No, &ViewSpec::paper_default(az, 5.0, 3.0));
@@ -157,7 +221,11 @@ pub fn e2_altitude_window() -> String {
             format!("{alt:.1} m"),
             r.best.as_ref().map(|m| m.label.clone()).unwrap_or_default(),
             num(r.best.as_ref().map(|m| m.distance).unwrap_or(f64::NAN), 3),
-            if ok { "No".into() } else { "(rejected)".to_string() },
+            if ok {
+                "No".into()
+            } else {
+                "(rejected)".to_string()
+            },
         ]);
     }
     out.push_str(&table.render());
@@ -225,7 +293,10 @@ pub fn e3_azimuth_dead_angle() -> String {
     out
 }
 
-fn calibrated_decision(pipeline: &RecognitionPipeline, frame: &hdc_raster::GrayImage) -> Option<String> {
+fn calibrated_decision(
+    pipeline: &RecognitionPipeline,
+    frame: &hdc_raster::GrayImage,
+) -> Option<String> {
     pipeline.recognize(frame).decision
 }
 
@@ -236,7 +307,15 @@ pub fn e4_latency() -> String {
         "E4 | recognition latency (median of 50 runs per frame) and frame budgets\n\n",
     );
     let mut table = Table::new([
-        "azimuth", "segment", "blob", "contour+sig", "classify", "total", "fps", "30fps?", "60fps?",
+        "azimuth",
+        "segment",
+        "blob",
+        "contour+sig",
+        "classify",
+        "total",
+        "fps",
+        "30fps?",
+        "60fps?",
     ]);
     for az in [0.0, 65.0] {
         let frame = render_sign(MarshallingSign::No, &ViewSpec::paper_default(az, 5.0, 3.0));
@@ -259,8 +338,16 @@ pub fn e4_latency() -> String {
             format!("{} us", t.classify_us),
             format!("{median} us"),
             num(fps, 0),
-            if FrameBudget::thirty_fps().budget_us() >= median { "yes".into() } else { "no".to_string() },
-            if FrameBudget::sixty_fps().budget_us() >= median { "yes".into() } else { "no".to_string() },
+            if FrameBudget::thirty_fps().budget_us() >= median {
+                "yes".into()
+            } else {
+                "no".to_string()
+            },
+            if FrameBudget::sixty_fps().budget_us() >= median {
+                "yes".into()
+            } else {
+                "no".to_string()
+            },
         ]);
     }
     out.push_str(&table.render());
@@ -280,7 +367,8 @@ pub fn e4_latency() -> String {
 /// E5 — uniqueness of the three signs' SAX strings.
 pub fn e5_uniqueness() -> String {
     let pipeline = calibrated_pipeline();
-    let mut out = String::from("E5 | uniqueness of the sign signatures (canonical 0 deg views)\n\n");
+    let mut out =
+        String::from("E5 | uniqueness of the sign signatures (canonical 0 deg views)\n\n");
     let templates = pipeline.index().templates();
     let mut words = Table::new(["sign", "SAX word"]);
     for t in templates {
@@ -345,7 +433,11 @@ pub fn e6_led_ring() -> String {
             LedColor::White => "observer ahead/astern",
             LedColor::Off => "off",
         };
-        table.row([format!("{heading_deg} deg"), color.to_string(), meaning.to_string()]);
+        table.row([
+            format!("{heading_deg} deg"),
+            color.to_string(),
+            meaning.to_string(),
+        ]);
     }
     out.push_str(&table.render());
     out.push_str(
@@ -359,9 +451,13 @@ pub fn e6_led_ring() -> String {
 
 /// E7 — Figure 2: the landing pattern timeline.
 pub fn e7_landing_pattern() -> String {
-    let mut out = String::from("E7 | Figure 2: landing — descend (1), touch down (2), rotors off then lights out (3)\n\n");
+    let mut out = String::from(
+        "E7 | Figure 2: landing — descend (1), touch down (2), rotors off then lights out (3)\n\n",
+    );
     let mut drone = Drone::new(DroneConfig::default());
-    drone.execute_pattern(FlightPattern::TakeOff { target_altitude: 5.0 });
+    drone.execute_pattern(FlightPattern::TakeOff {
+        target_altitude: 5.0,
+    });
     while drone.is_executing() {
         drone.tick(0.05);
     }
@@ -380,7 +476,11 @@ pub fn e7_landing_pattern() -> String {
             table.row([
                 format!("{t:.1} s"),
                 format!("{:.2} m", drone.state().position.z),
-                if drone.state().rotors_on { "on".to_string() } else { "off".into() },
+                if drone.state().rotors_on {
+                    "on".to_string()
+                } else {
+                    "off".into()
+                },
                 format!("{:?}", drone.ring().mode()),
             ]);
         }
@@ -393,7 +493,9 @@ pub fn e7_landing_pattern() -> String {
     for (t, e) in &events {
         out.push_str(&format!("  [{t:.2} s] {e:?}\n"));
     }
-    let rotors_idx = events.iter().position(|(_, e)| *e == DroneEvent::RotorsStopped);
+    let rotors_idx = events
+        .iter()
+        .position(|(_, e)| *e == DroneEvent::RotorsStopped);
     let lights_idx = events.iter().position(|(_, e)| *e == DroneEvent::LightsOut);
     out.push_str(&format!(
         "\ninvariant 'rotors stop before lights out': {}\n",
@@ -412,7 +514,9 @@ pub fn e8_negotiation() -> String {
     // one full YES trace
     let mut session = CollaborationSession::new(SessionConfig::for_role(Role::Supervisor, true, 3));
     let outcome = session.run();
-    out.push_str(&format!("--- supervisor, consents (outcome: {outcome}) ---\n"));
+    out.push_str(&format!(
+        "--- supervisor, consents (outcome: {outcome}) ---\n"
+    ));
     for (t, e) in session.log().entries() {
         // keep the trace readable: drop the per-frame no-sign lines
         if matches!(e, LogEntry::Recognized(None)) {
@@ -422,9 +526,12 @@ pub fn e8_negotiation() -> String {
     }
 
     // one full NO trace
-    let mut session = CollaborationSession::new(SessionConfig::for_role(Role::Supervisor, false, 4));
+    let mut session =
+        CollaborationSession::new(SessionConfig::for_role(Role::Supervisor, false, 4));
     let outcome = session.run();
-    out.push_str(&format!("\n--- supervisor, refuses (outcome: {outcome}) ---\n"));
+    out.push_str(&format!(
+        "\n--- supervisor, refuses (outcome: {outcome}) ---\n"
+    ));
     for (t, e) in session.log().entries() {
         if matches!(e, LogEntry::Recognized(None)) {
             continue;
@@ -434,7 +541,14 @@ pub fn e8_negotiation() -> String {
 
     // outcome statistics by role
     out.push_str("\noutcome statistics (10 sessions per role, consent intended):\n\n");
-    let mut table = Table::new(["role", "granted", "denied", "abandoned", "aborted", "mean time"]);
+    let mut table = Table::new([
+        "role",
+        "granted",
+        "denied",
+        "abandoned",
+        "aborted",
+        "mean time",
+    ]);
     for role in Role::ALL {
         let mut counts = [0u32; 4];
         let mut total_t = 0.0;
@@ -476,7 +590,11 @@ pub fn e9_vertical_array() -> String {
         "E9 | vertical take-off/landing array: observer accuracy vs corruption\n     (3 glances, 0.45 s apart, per trial; 400 trials per cell)\n\n",
     );
     let mut rng = SmallRng::seed_from_u64(9);
-    let mut table = Table::new(["flip prob", "take-off read correctly", "landing read correctly"]);
+    let mut table = Table::new([
+        "flip prob",
+        "take-off read correctly",
+        "landing read correctly",
+    ]);
     for flip in [0.0, 0.05, 0.1, 0.2, 0.3, 0.4] {
         let mut acc = [0usize; 2];
         let trials = 400;
@@ -579,16 +697,30 @@ pub fn e10_tuning() -> String {
         (true, min_lb, critical)
     };
 
-    let mut table = Table::new(["w", "a", "usable", "inter-template word dist", "critical azimuth"]);
+    let mut table = Table::new([
+        "w",
+        "a",
+        "usable",
+        "inter-template word dist",
+        "critical azimuth",
+    ]);
     for w in segments {
         for a in alphabets {
             let (usable, min_lb, crit) = eval(SaxParams::new(w, a).expect("valid grid"));
             table.row([
                 w.to_string(),
                 a.to_string(),
-                if usable { "yes".to_string() } else { "no (collide)".into() },
+                if usable {
+                    "yes".to_string()
+                } else {
+                    "no (collide)".into()
+                },
                 num(min_lb, 3),
-                if usable { format!("{crit:.0} deg") } else { "-".into() },
+                if usable {
+                    format!("{crit:.0} deg")
+                } else {
+                    "-".into()
+                },
             ]);
         }
     }
@@ -655,7 +787,10 @@ pub fn e11_baselines() -> String {
                     if rotate {
                         mask = rotate_mask_90(&mask);
                     }
-                    if c.classify(&mask).map(|r| r.label == sign.label()).unwrap_or(false) {
+                    if c.classify(&mask)
+                        .map(|r| r.label == sign.label())
+                        .unwrap_or(false)
+                    {
                         ok += 1;
                     }
                 }
@@ -710,10 +845,18 @@ pub fn e12_safety_injection() -> String {
     let mut out = String::from(
         "E12 | safety fault injection: at a random time in each session a safety\n      function fires; every run must end all-red, landed, without area entry\n\n",
     );
-    let mut table = Table::new(["seed", "fired at", "state after", "ring", "grounded", "entered w/o yes"]);
+    let mut table = Table::new([
+        "seed",
+        "fired at",
+        "state after",
+        "ring",
+        "grounded",
+        "entered w/o yes",
+    ]);
     let mut all_hold = true;
     for seed in 0..10u64 {
-        let mut session = CollaborationSession::new(SessionConfig::for_role(Role::Worker, true, seed));
+        let mut session =
+            CollaborationSession::new(SessionConfig::for_role(Role::Worker, true, seed));
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xDEAD);
         let fire_at = rng.gen_range(2.0..25.0);
         let mut fired = false;
@@ -746,11 +889,23 @@ pub fn e12_safety_injection() -> String {
         all_hold &= holds;
         table.row([
             seed.to_string(),
-            if fired { format!("{fire_at:.1} s") } else { "(finished first)".into() },
+            if fired {
+                format!("{fire_at:.1} s")
+            } else {
+                "(finished first)".into()
+            },
             session.state().to_string(),
             format!("{:?}", drone.ring().mode()),
-            if grounded { "yes".to_string() } else { "no".into() },
-            if entered_before_yes { "VIOLATION".to_string() } else { "no".into() },
+            if grounded {
+                "yes".to_string()
+            } else {
+                "no".into()
+            },
+            if entered_before_yes {
+                "VIOLATION".to_string()
+            } else {
+                "no".into()
+            },
         ]);
     }
     out.push_str(&table.render());
@@ -774,11 +929,16 @@ pub fn e13_rgb_vs_vertical() -> String {
     for p in [0.0, 0.05, 0.1, 0.2, 0.3, 0.4] {
         let arr = VerticalArray::new(VerticalAnimation::TakeOff);
         let arr_ok = (0..trials)
-            .filter(|_| arr.observe_direction(3, 0.45, p, &mut rng) == Some(VerticalAnimation::TakeOff))
+            .filter(|_| {
+                arr.observe_direction(3, 0.45, p, &mut rng) == Some(VerticalAnimation::TakeOff)
+            })
             .count();
         let rgb = RgbStatusSignal::for_animation(VerticalAnimation::TakeOff);
         let rgb_ok = (0..trials)
-            .filter(|_| rgb.observe_hue(3, p, &mut rng).map(|h| h.animation()) == Some(VerticalAnimation::TakeOff))
+            .filter(|_| {
+                rgb.observe_hue(3, p, &mut rng).map(|h| h.animation())
+                    == Some(VerticalAnimation::TakeOff)
+            })
             .count();
         table.row([
             num(p, 2),
@@ -841,17 +1001,82 @@ pub fn e14_imu_flight_state() -> String {
         ]);
     };
 
-    drone.execute_pattern(FlightPattern::TakeOff { target_altitude: 4.0 });
-    run_phase(&mut drone, &mut imu, &mut est, &mut rng, "take-off (climb)", FlightState::Climbing, 60, &mut table);
-    run_phase(&mut drone, &mut imu, &mut est, &mut rng, "hover", FlightState::Hovering, 100, &mut table);
+    drone.execute_pattern(FlightPattern::TakeOff {
+        target_altitude: 4.0,
+    });
+    run_phase(
+        &mut drone,
+        &mut imu,
+        &mut est,
+        &mut rng,
+        "take-off (climb)",
+        FlightState::Climbing,
+        60,
+        &mut table,
+    );
+    run_phase(
+        &mut drone,
+        &mut imu,
+        &mut est,
+        &mut rng,
+        "hover",
+        FlightState::Hovering,
+        100,
+        &mut table,
+    );
     drone.goto(hdc_geometry::Vec3::new(15.0, 0.0, 4.0));
-    run_phase(&mut drone, &mut imu, &mut est, &mut rng, "transit", FlightState::Translating, 70, &mut table);
+    run_phase(
+        &mut drone,
+        &mut imu,
+        &mut est,
+        &mut rng,
+        "transit",
+        FlightState::Translating,
+        70,
+        &mut table,
+    );
     // settle at the waypoint (skip the deceleration transient)
-    run_phase(&mut drone, &mut imu, &mut est, &mut rng, "settle (transient)", FlightState::Hovering, 30, &mut table);
-    run_phase(&mut drone, &mut imu, &mut est, &mut rng, "hover 2", FlightState::Hovering, 100, &mut table);
+    run_phase(
+        &mut drone,
+        &mut imu,
+        &mut est,
+        &mut rng,
+        "settle (transient)",
+        FlightState::Hovering,
+        30,
+        &mut table,
+    );
+    run_phase(
+        &mut drone,
+        &mut imu,
+        &mut est,
+        &mut rng,
+        "hover 2",
+        FlightState::Hovering,
+        100,
+        &mut table,
+    );
     drone.execute_pattern(FlightPattern::Landing);
-    run_phase(&mut drone, &mut imu, &mut est, &mut rng, "landing (descent)", FlightState::Descending, 90, &mut table);
-    run_phase(&mut drone, &mut imu, &mut est, &mut rng, "parked", FlightState::Grounded, 40, &mut table);
+    run_phase(
+        &mut drone,
+        &mut imu,
+        &mut est,
+        &mut rng,
+        "landing (descent)",
+        FlightState::Descending,
+        90,
+        &mut table,
+    );
+    run_phase(
+        &mut drone,
+        &mut imu,
+        &mut est,
+        &mut rng,
+        "parked",
+        FlightState::Grounded,
+        40,
+        &mut table,
+    );
 
     out.push_str(&table.render());
     out.push_str(
@@ -882,7 +1107,13 @@ pub fn e15_vocabulary_economics() -> String {
         .collect();
     let query = canonical[2].clone(); // 'No'
 
-    let mut table = Table::new(["vocabulary", "templates", "lookup (pruned)", "lookup (exhaustive)", "min margin"]);
+    let mut table = Table::new([
+        "vocabulary",
+        "templates",
+        "lookup (pruned)",
+        "lookup (exhaustive)",
+        "min margin",
+    ]);
     for extra in [0usize, 7, 27, 97] {
         let mut idx = hdc_sax::SaxIndex::new(SaxParams::default(), 128);
         for (i, s) in canonical.iter().enumerate() {
@@ -976,7 +1207,10 @@ pub fn e16_wave_off() -> String {
         let mut rec = DynamicRecognizer::new(DynamicConfig::default());
         for i in 0..30 {
             let frame = render_pose(Pose::for_sign(sign), &view_for(0.0));
-            rec.push(i as f64 * 0.1, &hdc_raster::threshold::binarize(&frame, 128));
+            rec.push(
+                i as f64 * 0.1,
+                &hdc_raster::threshold::binarize(&frame, 128),
+            );
         }
         fp.row([sign.label().to_string(), format!("{:?}", rec.decision())]);
     }
@@ -999,7 +1233,12 @@ pub fn e17_fleet_scaling() -> String {
     out.push_str("clean logistics (no people — pure transit/read scaling):\n\n");
     let run_table = |people: u32| -> Table {
         let mut table = Table::new([
-            "drones", "traps read", "makespan", "speedup", "fleet energy", "negotiations",
+            "drones",
+            "traps read",
+            "makespan",
+            "speedup",
+            "fleet energy",
+            "negotiations",
         ]);
         let mut solo_time = 0.0;
         for n in [1u32, 2, 3, 4, 6] {
@@ -1009,7 +1248,14 @@ pub fn e17_fleet_scaling() -> String {
                 blocking_radius_m: 3.5,
                 ..Default::default()
             };
-            let stats = run_fleet(FleetConfig { drone_count: n, mission }, &map, 17);
+            let stats = run_fleet(
+                FleetConfig {
+                    drone_count: n,
+                    mission,
+                },
+                &map,
+                17,
+            );
             if n == 1 {
                 solo_time = stats.makespan_s;
             }
@@ -1045,7 +1291,13 @@ pub fn e18_facing_sensitivity() -> String {
     let mut out = String::from(
         "E18 | extension: how accurately must the human face the drone? Consenting\n      workers with controlled facing error (8 sessions per cell); links the\n      dead angle (E3) to protocol outcomes\n\n",
     );
-    let mut table = Table::new(["max facing error", "granted", "denied", "abandoned", "mean duration"]);
+    let mut table = Table::new([
+        "max facing error",
+        "granted",
+        "denied",
+        "abandoned",
+        "mean duration",
+    ]);
     for err_deg in [0.0, 10.0, 20.0, 30.0, 45.0, 60.0] {
         let mut granted = 0;
         let mut denied = 0;
@@ -1104,11 +1356,28 @@ pub fn e19_anthropometric_robustness() -> String {
         ("calibrated adult", BodyDimensions::adult()),
         ("short (0.85x)", BodyDimensions::adult().scaled(0.85)),
         ("tall (1.12x)", BodyDimensions::adult().scaled(1.12)),
-        ("long-limbed (+15% limbs)", BodyDimensions::adult().with_proportions(1.15, 1.0)),
-        ("short-limbed (-12% limbs)", BodyDimensions::adult().with_proportions(0.88, 1.0)),
-        ("broad (+25% girth)", BodyDimensions::adult().with_proportions(1.0, 1.25)),
-        ("slim (-20% girth)", BodyDimensions::adult().with_proportions(1.0, 0.8)),
-        ("bulky child (0.8x, +20% girth)", BodyDimensions::adult().scaled(0.8).with_proportions(1.0, 1.2)),
+        (
+            "long-limbed (+15% limbs)",
+            BodyDimensions::adult().with_proportions(1.15, 1.0),
+        ),
+        (
+            "short-limbed (-12% limbs)",
+            BodyDimensions::adult().with_proportions(0.88, 1.0),
+        ),
+        (
+            "broad (+25% girth)",
+            BodyDimensions::adult().with_proportions(1.0, 1.25),
+        ),
+        (
+            "slim (-20% girth)",
+            BodyDimensions::adult().with_proportions(1.0, 0.8),
+        ),
+        (
+            "bulky child (0.8x, +20% girth)",
+            BodyDimensions::adult()
+                .scaled(0.8)
+                .with_proportions(1.0, 1.2),
+        ),
     ];
 
     let mut table = Table::new(["body", "AttentionGained", "Yes", "No"]);
@@ -1177,7 +1446,10 @@ mod tests {
     #[test]
     fn e7_invariant_holds() {
         let report = e7_landing_pattern();
-        assert!(report.contains("invariant 'rotors stop before lights out': holds"), "{report}");
+        assert!(
+            report.contains("invariant 'rotors stop before lights out': holds"),
+            "{report}"
+        );
     }
 
     #[test]

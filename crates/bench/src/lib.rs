@@ -12,5 +12,6 @@
 
 pub mod experiments;
 pub mod report;
+pub mod throughput;
 
 pub use experiments::{all_experiments, run_experiment, ExperimentId};

@@ -156,8 +156,14 @@ mod tests {
 
     #[test]
     fn communicative_meanings_match_the_paper() {
-        assert_eq!(Vocabulary::drone_intent(PatternKind::Nod), Some(DroneIntent::AcknowledgeYes));
-        assert_eq!(Vocabulary::drone_intent(PatternKind::Turn), Some(DroneIntent::AcknowledgeNo));
+        assert_eq!(
+            Vocabulary::drone_intent(PatternKind::Nod),
+            Some(DroneIntent::AcknowledgeYes)
+        );
+        assert_eq!(
+            Vocabulary::drone_intent(PatternKind::Turn),
+            Some(DroneIntent::AcknowledgeNo)
+        );
         assert_eq!(
             Vocabulary::human_intent(MarshallingSign::AttentionGained),
             HumanIntent::GrantAttention

@@ -119,7 +119,10 @@ mod tests {
         let notes: Vec<_> = log.filter(|e| matches!(e, LogEntry::Note(_))).collect();
         assert_eq!(notes.len(), 2);
         assert_eq!(log.first_time(|e| *e == LogEntry::HumanIdle), Some(2.0));
-        assert_eq!(log.first_time(|e| matches!(e, LogEntry::Recognized(_))), None);
+        assert_eq!(
+            log.first_time(|e| matches!(e, LogEntry::Recognized(_))),
+            None
+        );
     }
 
     #[test]

@@ -371,7 +371,10 @@ mod tests {
         let mut m = machine();
         to_awaiting_answer(&mut m);
         let actions = m.on_sign(Some(MarshallingSign::Yes), 5.0);
-        assert_eq!(actions, vec![ProtocolAction::ExecuteNod, ProtocolAction::EnterArea]);
+        assert_eq!(
+            actions,
+            vec![ProtocolAction::ExecuteNod, ProtocolAction::EnterArea]
+        );
         assert_eq!(m.state(), NegotiationState::Granted);
         assert_eq!(m.outcome(), SessionOutcome::Granted);
         assert!(m.state().is_terminal());
@@ -382,7 +385,10 @@ mod tests {
         let mut m = machine();
         to_awaiting_answer(&mut m);
         let actions = m.on_sign(Some(MarshallingSign::No), 5.0);
-        assert_eq!(actions, vec![ProtocolAction::ExecuteTurn, ProtocolAction::Retreat]);
+        assert_eq!(
+            actions,
+            vec![ProtocolAction::ExecuteTurn, ProtocolAction::Retreat]
+        );
         assert_eq!(m.outcome(), SessionOutcome::Denied);
     }
 
@@ -392,7 +398,10 @@ mod tests {
         m.start(0.0);
         m.on_arrived(1.0);
         m.on_pattern_complete(2.0); // poke 1 done, deadline 10.0
-        assert!(m.poll(9.9).is_empty(), "before the deadline nothing happens");
+        assert!(
+            m.poll(9.9).is_empty(),
+            "before the deadline nothing happens"
+        );
         let a = m.poll(10.1);
         assert_eq!(a, vec![ProtocolAction::ExecutePoke], "retry poke 2");
         m.on_pattern_complete(11.0);
@@ -409,7 +418,11 @@ mod tests {
         let mut m = machine();
         to_awaiting_answer(&mut m);
         let a = m.poll(100.0);
-        assert_eq!(a, vec![ProtocolAction::ExecuteRectangle], "repeat the request");
+        assert_eq!(
+            a,
+            vec![ProtocolAction::ExecuteRectangle],
+            "repeat the request"
+        );
         m.on_pattern_complete(101.0);
         let a = m.poll(200.0);
         assert_eq!(a, vec![ProtocolAction::Retreat]);
@@ -522,8 +535,14 @@ mod tests {
 
     #[test]
     fn display_strings() {
-        assert_eq!(NegotiationState::AwaitingAnswer.to_string(), "awaiting answer");
-        assert_eq!(ProtocolAction::ExecuteRectangle.to_string(), "fly rectangle (request area)");
+        assert_eq!(
+            NegotiationState::AwaitingAnswer.to_string(),
+            "awaiting answer"
+        );
+        assert_eq!(
+            ProtocolAction::ExecuteRectangle.to_string(),
+            "fly rectangle (request area)"
+        );
         assert_eq!(SessionOutcome::Granted.to_string(), "granted");
     }
 }

@@ -36,8 +36,14 @@ pub enum SafetyViolation {
 impl fmt::Display for SafetyViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SafetyViolation::SeparationBreach { distance_m, minimum_m } => {
-                write!(f, "separation breach: {distance_m:.2} m < minimum {minimum_m:.2} m")
+            SafetyViolation::SeparationBreach {
+                distance_m,
+                minimum_m,
+            } => {
+                write!(
+                    f,
+                    "separation breach: {distance_m:.2} m < minimum {minimum_m:.2} m"
+                )
             }
             SafetyViolation::GeofenceBreach { position } => {
                 write!(f, "geofence breach at {position}")
@@ -121,14 +127,20 @@ mod tests {
         let m = SafetyMonitor::default();
         let v = m.check(&flying_at(Vec3::new(1.0, 0.0, 4.0)), Vec2::ZERO);
         assert!(matches!(v, Some(SafetyViolation::SeparationBreach { .. })));
-        assert!(m.check(&flying_at(Vec3::new(3.0, 0.0, 4.0)), Vec2::ZERO).is_none());
+        assert!(m
+            .check(&flying_at(Vec3::new(3.0, 0.0, 4.0)), Vec2::ZERO)
+            .is_none());
     }
 
     #[test]
     fn granted_access_suspends_separation() {
-        let mut m = SafetyMonitor::default();
-        m.access_granted = true;
-        assert!(m.check(&flying_at(Vec3::new(0.5, 0.0, 4.0)), Vec2::ZERO).is_none());
+        let m = SafetyMonitor {
+            access_granted: true,
+            ..Default::default()
+        };
+        assert!(m
+            .check(&flying_at(Vec3::new(0.5, 0.0, 4.0)), Vec2::ZERO)
+            .is_none());
     }
 
     #[test]
@@ -140,10 +152,16 @@ mod tests {
 
     #[test]
     fn geofence_enforced() {
-        let mut m = SafetyMonitor::default();
-        m.geofence = Some((Vec2::new(-10.0, -10.0), Vec2::new(10.0, 10.0)));
-        assert!(m.check(&flying_at(Vec3::new(11.0, 0.0, 4.0)), Vec2::new(50.0, 50.0)).is_some());
-        assert!(m.check(&flying_at(Vec3::new(9.0, 0.0, 4.0)), Vec2::new(50.0, 50.0)).is_none());
+        let m = SafetyMonitor {
+            geofence: Some((Vec2::new(-10.0, -10.0), Vec2::new(10.0, 10.0))),
+            ..Default::default()
+        };
+        assert!(m
+            .check(&flying_at(Vec3::new(11.0, 0.0, 4.0)), Vec2::new(50.0, 50.0))
+            .is_some());
+        assert!(m
+            .check(&flying_at(Vec3::new(9.0, 0.0, 4.0)), Vec2::new(50.0, 50.0))
+            .is_none());
     }
 
     #[test]
@@ -155,7 +173,10 @@ mod tests {
 
     #[test]
     fn violation_display() {
-        let v = SafetyViolation::SeparationBreach { distance_m: 1.5, minimum_m: 2.0 };
+        let v = SafetyViolation::SeparationBreach {
+            distance_m: 1.5,
+            minimum_m: 2.0,
+        };
         assert_eq!(v.to_string(), "separation breach: 1.50 m < minimum 2.00 m");
     }
 }

@@ -317,7 +317,9 @@ impl CollaborationSession {
     /// response.
     fn human_perceive(&mut self, trace: hdc_drone::Trajectory) {
         let Some(kind) = self.observer.classify(&trace) else {
-            self.note(LogEntry::Note("human could not read the drone's motion".into()));
+            self.note(LogEntry::Note(
+                "human could not read the drone's motion".into(),
+            ));
             return;
         };
         self.note(LogEntry::Note(format!("human reads the motion as: {kind}")));
@@ -334,8 +336,10 @@ impl CollaborationSession {
                 // at the poke — "don't even ask"
                 if !self.config.will_consent && self.rng.gen::<f64>() < WAVE_OFF_PROB {
                     let due_at = self.time + profile.sample_latency(&mut self.rng);
-                    self.human.pending =
-                        Some(PendingResponse { due_at, response: PlannedResponse::WaveOff });
+                    self.human.pending = Some(PendingResponse {
+                        due_at,
+                        response: PlannedResponse::WaveOff,
+                    });
                     return;
                 }
                 MarshallingSign::AttentionGained
@@ -352,8 +356,10 @@ impl CollaborationSession {
                     // holding the static No
                     if self.rng.gen::<f64>() < WAVE_OFF_PROB {
                         let due_at = self.time + profile.sample_latency(&mut self.rng);
-                        self.human.pending =
-                            Some(PendingResponse { due_at, response: PlannedResponse::WaveOff });
+                        self.human.pending = Some(PendingResponse {
+                            due_at,
+                            response: PlannedResponse::WaveOff,
+                        });
                         return;
                     }
                     MarshallingSign::No
@@ -407,7 +413,9 @@ impl CollaborationSession {
             self.dynamic.reset();
             let actions = self.machine.on_wave_off(self.time);
             if !actions.is_empty() {
-                self.note(LogEntry::StateChanged { to: self.machine.state() });
+                self.note(LogEntry::StateChanged {
+                    to: self.machine.state(),
+                });
                 self.apply_actions(actions);
                 return;
             }
@@ -427,11 +435,15 @@ impl CollaborationSession {
             .push(result.decision.as_deref())
             .map(str::to_owned);
         let sign = confirmed.as_deref().and_then(|label| {
-            MarshallingSign::ALL.into_iter().find(|s| s.label() == label)
+            MarshallingSign::ALL
+                .into_iter()
+                .find(|s| s.label() == label)
         });
         let actions = self.machine.on_sign(sign, self.time);
         if !actions.is_empty() {
-            self.note(LogEntry::StateChanged { to: self.machine.state() });
+            self.note(LogEntry::StateChanged {
+                to: self.machine.state(),
+            });
         }
         self.apply_actions(actions);
     }
@@ -443,7 +455,9 @@ impl CollaborationSession {
     pub fn inject_safety(&mut self, reason: &str) {
         self.note(LogEntry::Note(format!("SAFETY (injected): {reason}")));
         let actions = self.machine.on_safety(self.time);
-        self.note(LogEntry::StateChanged { to: self.machine.state() });
+        self.note(LogEntry::StateChanged {
+            to: self.machine.state(),
+        });
         if actions.is_empty() {
             // already terminal: still force the hardware posture
             self.flying_to = None;
@@ -460,7 +474,9 @@ impl CollaborationSession {
         // --- protocol bootstrap ---
         if self.machine.state() == NegotiationState::Idle {
             let actions = self.machine.start(self.time);
-            self.note(LogEntry::StateChanged { to: self.machine.state() });
+            self.note(LogEntry::StateChanged {
+                to: self.machine.state(),
+            });
             self.apply_actions(actions);
         }
 
@@ -472,7 +488,9 @@ impl CollaborationSession {
                     self.flying_to = None;
                     if self.machine.state() == NegotiationState::Approaching {
                         let actions = self.machine.on_arrived(self.time);
-                        self.note(LogEntry::StateChanged { to: self.machine.state() });
+                        self.note(LogEntry::StateChanged {
+                            to: self.machine.state(),
+                        });
                         self.apply_actions(actions);
                     }
                 }
@@ -486,9 +504,12 @@ impl CollaborationSession {
                 let kind = *kind;
                 self.note(LogEntry::PatternDone(kind));
                 let actions = self.machine.on_pattern_complete(self.time);
-                if !actions.is_empty() || matches!(kind, PatternKind::Poke | PatternKind::RectangleRequest)
+                if !actions.is_empty()
+                    || matches!(kind, PatternKind::Poke | PatternKind::RectangleRequest)
                 {
-                    self.note(LogEntry::StateChanged { to: self.machine.state() });
+                    self.note(LogEntry::StateChanged {
+                        to: self.machine.state(),
+                    });
                 }
                 self.apply_actions(actions);
                 // the human watches communicative patterns
@@ -553,7 +574,9 @@ impl CollaborationSession {
         // --- timeouts ---
         let actions = self.machine.poll(self.time);
         if !actions.is_empty() {
-            self.note(LogEntry::StateChanged { to: self.machine.state() });
+            self.note(LogEntry::StateChanged {
+                to: self.machine.state(),
+            });
         }
         self.apply_actions(actions);
 
@@ -565,7 +588,9 @@ impl CollaborationSession {
             {
                 self.note(LogEntry::Note(format!("SAFETY: {violation}")));
                 let actions = self.machine.on_safety(self.time);
-                self.note(LogEntry::StateChanged { to: self.machine.state() });
+                self.note(LogEntry::StateChanged {
+                    to: self.machine.state(),
+                });
                 self.apply_actions(actions);
             }
         }
@@ -639,12 +664,16 @@ mod tests {
     fn visitor_often_fails_to_negotiate() {
         let mut abandoned = 0;
         for seed in 0..8 {
-            let mut s = CollaborationSession::new(SessionConfig::for_role(Role::Visitor, true, seed));
+            let mut s =
+                CollaborationSession::new(SessionConfig::for_role(Role::Visitor, true, seed));
             if s.run() == SessionOutcome::Abandoned {
                 abandoned += 1;
             }
         }
-        assert!(abandoned >= 1, "untrained visitors should sometimes stall the protocol");
+        assert!(
+            abandoned >= 1,
+            "untrained visitors should sometimes stall the protocol"
+        );
     }
 
     #[test]
@@ -661,7 +690,7 @@ mod tests {
     fn wave_off_is_detected_dynamically_and_denies() {
         // seed chosen so the refusing worker waves at the poke stage and the
         // temporal recogniser fires before any static fallback
-        let mut s = CollaborationSession::new(SessionConfig::for_role(Role::Worker, false, 21));
+        let mut s = CollaborationSession::new(SessionConfig::for_role(Role::Worker, false, 13));
         let outcome = s.run();
         assert_eq!(outcome, SessionOutcome::Denied);
         let waved = s
@@ -671,14 +700,19 @@ mod tests {
             .log()
             .first_time(|e| matches!(e, LogEntry::Note(n) if n.contains("wave-off detected")));
         assert!(waved.is_some(), "log:\n{}", s.log());
-        assert!(detected.is_some(), "dynamic channel must fire; log:\n{}", s.log());
+        assert!(
+            detected.is_some(),
+            "dynamic channel must fire; log:\n{}",
+            s.log()
+        );
         assert!(waved < detected, "waving precedes detection");
     }
 
     #[test]
     fn refusing_workers_always_end_denied_or_abandoned() {
         for seed in 0..6 {
-            let mut s = CollaborationSession::new(SessionConfig::for_role(Role::Worker, false, seed));
+            let mut s =
+                CollaborationSession::new(SessionConfig::for_role(Role::Worker, false, seed));
             let outcome = s.run();
             assert!(
                 matches!(outcome, SessionOutcome::Denied | SessionOutcome::Abandoned),
@@ -693,7 +727,8 @@ mod tests {
         s.run();
         let log = s.log();
         let poke = log.first_time(|e| *e == LogEntry::Action(ProtocolAction::ExecutePoke));
-        let attention = log.first_time(|e| matches!(e, LogEntry::HumanSigned(MarshallingSign::AttentionGained)));
+        let attention = log
+            .first_time(|e| matches!(e, LogEntry::HumanSigned(MarshallingSign::AttentionGained)));
         let rect = log.first_time(|e| *e == LogEntry::Action(ProtocolAction::ExecuteRectangle));
         let answer = log.first_time(|e| matches!(e, LogEntry::HumanSigned(MarshallingSign::Yes)));
         assert!(poke.is_some() && attention.is_some() && rect.is_some() && answer.is_some());

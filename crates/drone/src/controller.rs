@@ -81,7 +81,10 @@ mod tests {
         let cmd = c.velocity_command(&s, Vec3::new(10.0, 0.0, 0.0));
         assert!(cmd.x > 0.0);
         assert!(cmd.y.abs() < 1e-12 && cmd.z.abs() < 1e-12);
-        assert!((cmd.norm() - c.cruise_speed).abs() < 1e-9, "far target → cruise speed");
+        assert!(
+            (cmd.norm() - c.cruise_speed).abs() < 1e-9,
+            "far target → cruise speed"
+        );
     }
 
     #[test]

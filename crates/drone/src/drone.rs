@@ -204,9 +204,11 @@ impl Drone {
         self.emit(DroneEvent::SafetyTriggered(reason.into()));
         self.waypoint = None;
         if self.state.rotors_on && !self.state.is_grounded() {
-            let traj = self
-                .executor
-                .generate(FlightPattern::Landing, self.state.position, self.state.heading);
+            let traj = self.executor.generate(
+                FlightPattern::Landing,
+                self.state.position,
+                self.state.heading,
+            );
             self.executing = Some((FlightPattern::Landing, traj, 0.0));
             self.emit(DroneEvent::PatternStarted(PatternKind::Landing));
         }
@@ -275,10 +277,18 @@ impl Drone {
         }
 
         // --- energy ---
-        let brightness = if self.ring.mode() == LedMode::Off { 0.0 } else { self.ring.brightness };
+        let brightness = if self.ring.mode() == LedMode::Off {
+            0.0
+        } else {
+            self.ring.brightness
+        };
         let was_reserve = self.battery.below_reserve();
-        self.battery
-            .drain(dt, self.state.velocity.norm(), self.state.rotors_on, brightness);
+        self.battery.drain(
+            dt,
+            self.state.velocity.norm(),
+            self.state.rotors_on,
+            brightness,
+        );
         if !was_reserve && self.battery.below_reserve() {
             self.emit(DroneEvent::BatteryReserve);
             self.trigger_safety("battery below reserve");
@@ -333,7 +343,9 @@ mod tests {
 
     fn airborne() -> Drone {
         let mut d = Drone::new(DroneConfig::default());
-        d.execute_pattern(FlightPattern::TakeOff { target_altitude: 5.0 });
+        d.execute_pattern(FlightPattern::TakeOff {
+            target_altitude: 5.0,
+        });
         run_until_idle(&mut d, 30.0);
         d.drain_events();
         d.take_trace();
@@ -344,7 +356,9 @@ mod tests {
     fn takeoff_sequence() {
         let mut d = Drone::new(DroneConfig::default());
         assert_eq!(d.ring().mode(), LedMode::Danger, "fail-safe default");
-        d.execute_pattern(FlightPattern::TakeOff { target_altitude: 3.0 });
+        d.execute_pattern(FlightPattern::TakeOff {
+            target_altitude: 3.0,
+        });
         run_until_idle(&mut d, 30.0);
         assert!((d.state().position.z - 3.0).abs() < 0.1);
         let events = d.drain_events();
@@ -363,9 +377,18 @@ mod tests {
         assert!(!d.state().rotors_on);
         assert_eq!(d.ring().mode(), LedMode::Off);
         let events = d.drain_events();
-        let rotors_idx = events.iter().position(|e| *e == DroneEvent::RotorsStopped).unwrap();
-        let lights_idx = events.iter().position(|e| *e == DroneEvent::LightsOut).unwrap();
-        assert!(rotors_idx < lights_idx, "Figure 2: rotors stop, then lights out");
+        let rotors_idx = events
+            .iter()
+            .position(|e| *e == DroneEvent::RotorsStopped)
+            .unwrap();
+        let lights_idx = events
+            .iter()
+            .position(|e| *e == DroneEvent::LightsOut)
+            .unwrap();
+        assert!(
+            rotors_idx < lights_idx,
+            "Figure 2: rotors stop, then lights out"
+        );
     }
 
     #[test]
@@ -374,7 +397,10 @@ mod tests {
         d.execute_pattern(FlightPattern::Nod);
         assert!(!d.is_executing());
         let events = d.drain_events();
-        assert!(matches!(events.first(), Some(DroneEvent::SafetyTriggered(_))));
+        assert!(matches!(
+            events.first(),
+            Some(DroneEvent::SafetyTriggered(_))
+        ));
     }
 
     #[test]
@@ -400,13 +426,21 @@ mod tests {
             FlightPattern::Nod,
             FlightPattern::Turn,
             FlightPattern::Poke { toward: Vec2::Y },
-            FlightPattern::RectangleRequest { half_width: 2.0, half_depth: 1.5 },
+            FlightPattern::RectangleRequest {
+                half_width: 2.0,
+                half_depth: 1.5,
+            },
         ] {
             let mut d = airborne();
             d.execute_pattern(p);
             run_until_idle(&mut d, 60.0);
             let trace = d.take_trace();
-            assert_eq!(classifier.classify(&trace), Some(p.kind()), "{:?}", p.kind());
+            assert_eq!(
+                classifier.classify(&trace),
+                Some(p.kind()),
+                "{:?}",
+                p.kind()
+            );
         }
     }
 
@@ -420,7 +454,10 @@ mod tests {
             d.tick(0.05);
             t += 0.05;
         }
-        assert!(d.state().position.distance(target) <= 0.3, "arrived in {t} s");
+        assert!(
+            d.state().position.distance(target) <= 0.3,
+            "arrived in {t} s"
+        );
         // the transit trace reads as a cruise
         let classifier = PatternClassifier::default();
         assert_eq!(classifier.classify(d.trace()), Some(PatternKind::Cruise));
@@ -440,16 +477,19 @@ mod tests {
     fn ring_observer_color_during_flight() {
         let d = airborne();
         // navigation mode: port observer sees red
-        let c = d
-            .ring()
-            .color_toward(d.state().heading, d.state().heading + std::f64::consts::FRAC_PI_2);
+        let c = d.ring().color_toward(
+            d.state().heading,
+            d.state().heading + std::f64::consts::FRAC_PI_2,
+        );
         assert_eq!(c, LedColor::Red);
     }
 
     #[test]
     fn events_drain_once() {
         let mut d = Drone::new(DroneConfig::default());
-        d.execute_pattern(FlightPattern::TakeOff { target_altitude: 1.0 });
+        d.execute_pattern(FlightPattern::TakeOff {
+            target_altitude: 1.0,
+        });
         let first = d.drain_events();
         assert!(!first.is_empty());
         assert!(d.drain_events().is_empty());

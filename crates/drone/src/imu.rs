@@ -105,7 +105,11 @@ impl Imu {
         ImuSample {
             accel: specific
                 + self.accel_bias
-                + Vec3::new(gauss(self.accel_noise), gauss(self.accel_noise), gauss(self.accel_noise)),
+                + Vec3::new(
+                    gauss(self.accel_noise),
+                    gauss(self.accel_noise),
+                    gauss(self.accel_noise),
+                ),
             yaw_rate: yaw_rate_true + self.gyro_bias + gauss(self.gyro_noise),
         }
     }
@@ -334,7 +338,9 @@ mod tests {
         // prime the IMU from rest so the take-off onset is observable
         // (differencing sensors need one sample of history)
         let _ = imu.sample(drone.state(), 0.05, &mut rng);
-        drone.execute_pattern(FlightPattern::TakeOff { target_altitude: 4.0 });
+        drone.execute_pattern(FlightPattern::TakeOff {
+            target_altitude: 4.0,
+        });
         let climb_states = run_phase(&mut drone, &mut imu, &mut est, &mut rng, 60);
         assert!(
             climb_states.contains(&FlightState::Climbing),
@@ -355,7 +361,9 @@ mod tests {
     fn mems_noise_does_not_flap_the_estimate() {
         // a hovering drone with a noisy IMU must not oscillate between states
         let mut drone = Drone::new(DroneConfig::default());
-        drone.execute_pattern(FlightPattern::TakeOff { target_altitude: 4.0 });
+        drone.execute_pattern(FlightPattern::TakeOff {
+            target_altitude: 4.0,
+        });
         while drone.is_executing() {
             drone.tick(0.05);
         }
@@ -366,7 +374,10 @@ mod tests {
         let _ = run_phase(&mut drone, &mut imu, &mut est, &mut rng, 60);
         let states = run_phase(&mut drone, &mut imu, &mut est, &mut rng, 200);
         let switches = states.windows(2).filter(|w| w[0] != w[1]).count();
-        assert!(switches <= 4, "estimate flapped {switches} times: noisy debounce too weak");
+        assert!(
+            switches <= 4,
+            "estimate flapped {switches} times: noisy debounce too weak"
+        );
     }
 
     #[test]
@@ -385,8 +396,14 @@ mod tests {
     #[test]
     fn debounce_delays_switching() {
         let mut est = FlightStateEstimator::new();
-        let hover = ImuSample { accel: Vec3::new(0.0, 0.0, GRAVITY), yaw_rate: 0.0 };
-        let climb = ImuSample { accel: Vec3::new(0.0, 0.0, GRAVITY + 8.0), yaw_rate: 0.0 };
+        let hover = ImuSample {
+            accel: Vec3::new(0.0, 0.0, GRAVITY),
+            yaw_rate: 0.0,
+        };
+        let climb = ImuSample {
+            accel: Vec3::new(0.0, 0.0, GRAVITY + 8.0),
+            yaw_rate: 0.0,
+        };
         for _ in 0..20 {
             est.update(&hover, true, 0.05);
         }
@@ -406,7 +423,10 @@ mod tests {
         // decays to Hovering — the baro fusion must hold Descending
         let mut est_imu = FlightStateEstimator::new();
         let mut est_baro = FlightStateEstimator::new();
-        let level = ImuSample { accel: Vec3::new(0.0, 0.0, GRAVITY), yaw_rate: 0.0 };
+        let level = ImuSample {
+            accel: Vec3::new(0.0, 0.0, GRAVITY),
+            yaw_rate: 0.0,
+        };
         let mut alt = 10.0;
         let mut imu_only_final = FlightState::Hovering;
         let mut fused_final = FlightState::Hovering;
@@ -415,8 +435,16 @@ mod tests {
             imu_only_final = est_imu.update(&level, true, 0.05);
             fused_final = est_baro.update_fused(&level, Some(alt), true, 0.05);
         }
-        assert_eq!(fused_final, FlightState::Descending, "baro holds the estimate");
-        assert_ne!(imu_only_final, FlightState::Descending, "IMU-only decays (documents why the baro exists)");
+        assert_eq!(
+            fused_final,
+            FlightState::Descending,
+            "baro holds the estimate"
+        );
+        assert_ne!(
+            imu_only_final,
+            FlightState::Descending,
+            "IMU-only decays (documents why the baro exists)"
+        );
     }
 
     #[test]
@@ -425,7 +453,10 @@ mod tests {
         let baro = Barometer::consumer();
         let mut rng = SmallRng::seed_from_u64(7);
         let mut est = FlightStateEstimator::new();
-        let level = ImuSample { accel: Vec3::new(0.0, 0.0, GRAVITY), yaw_rate: 0.0 };
+        let level = ImuSample {
+            accel: Vec3::new(0.0, 0.0, GRAVITY),
+            yaw_rate: 0.0,
+        };
         let mut state = DroneState {
             position: Vec3::new(0.0, 0.0, 10.0),
             velocity: Vec3::new(0.0, 0.0, -0.8),
@@ -439,7 +470,11 @@ mod tests {
             last = est.update_fused(&level, Some(alt), true, 0.05);
         }
         assert_eq!(last, FlightState::Descending);
-        assert!(est.vertical_velocity() < -0.4, "v_z estimate {}", est.vertical_velocity());
+        assert!(
+            est.vertical_velocity() < -0.4,
+            "v_z estimate {}",
+            est.vertical_velocity()
+        );
     }
 
     #[test]
@@ -454,11 +489,17 @@ mod tests {
     #[test]
     fn translation_detected() {
         let mut est = FlightStateEstimator::new();
-        let hover = ImuSample { accel: Vec3::new(0.0, 0.0, GRAVITY), yaw_rate: 0.0 };
+        let hover = ImuSample {
+            accel: Vec3::new(0.0, 0.0, GRAVITY),
+            yaw_rate: 0.0,
+        };
         for _ in 0..10 {
             est.update(&hover, true, 0.05);
         }
-        let lateral = ImuSample { accel: Vec3::new(2.0, 0.0, GRAVITY), yaw_rate: 0.0 };
+        let lateral = ImuSample {
+            accel: Vec3::new(2.0, 0.0, GRAVITY),
+            yaw_rate: 0.0,
+        };
         for _ in 0..20 {
             est.update(&lateral, true, 0.05);
         }

@@ -115,7 +115,10 @@ impl Kinematics {
             let h = h.normalized().expect("non-zero") * self.limits.max_speed;
             cmd = Vec3::from_xy(h, cmd.z);
         }
-        cmd.z = cmd.z.clamp(-self.limits.max_vertical_speed, self.limits.max_vertical_speed);
+        cmd.z = cmd.z.clamp(
+            -self.limits.max_vertical_speed,
+            self.limits.max_vertical_speed,
+        );
 
         // acceleration limit toward the commanded velocity
         let dv = cmd - state.velocity;
@@ -207,7 +210,11 @@ mod tests {
         // command across the wrap: from -3 to +3 rad goes the short way
         s.heading = -3.0;
         k.step(&mut s, Vec3::ZERO, 3.0, Vec3::ZERO, 0.1);
-        assert!(s.heading < -3.0 + 1e-9 || s.heading > 3.0 - 0.2, "wrapped the short way: {}", s.heading);
+        assert!(
+            s.heading < -3.0 + 1e-9 || s.heading > 3.0 - 0.2,
+            "wrapped the short way: {}",
+            s.heading
+        );
     }
 
     #[test]

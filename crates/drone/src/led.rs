@@ -97,7 +97,10 @@ pub struct LedRing {
 impl LedRing {
     /// A ring in the given mode at full brightness.
     pub fn new(mode: LedMode) -> Self {
-        LedRing { mode, brightness: 1.0 }
+        LedRing {
+            mode,
+            brightness: 1.0,
+        }
     }
 
     /// Current mode.
@@ -187,7 +190,10 @@ pub struct VerticalArray {
 impl VerticalArray {
     /// Creates the array with a 1-second sweep.
     pub fn new(animation: VerticalAnimation) -> Self {
-        VerticalArray { animation, period_s: 1.0 }
+        VerticalArray {
+            animation,
+            period_s: 1.0,
+        }
     }
 
     /// The animation direction.
@@ -303,8 +309,16 @@ mod tests {
 
     #[test]
     fn off_and_allclear() {
-        assert_eq!(LedRing::new(LedMode::Off).snapshot().count(LedColor::Off), 10);
-        assert_eq!(LedRing::new(LedMode::AllClear).snapshot().count(LedColor::Green), 10);
+        assert_eq!(
+            LedRing::new(LedMode::Off).snapshot().count(LedColor::Off),
+            10
+        );
+        assert_eq!(
+            LedRing::new(LedMode::AllClear)
+                .snapshot()
+                .count(LedColor::Green),
+            10
+        );
     }
 
     #[test]
@@ -318,7 +332,10 @@ mod tests {
         assert_eq!(south, LedColor::Green);
         // head-on and tail-on observers see white
         assert_eq!(ring.color_toward(0.0, 0.0), LedColor::White);
-        assert_eq!(ring.color_toward(0.0, std::f64::consts::PI), LedColor::White);
+        assert_eq!(
+            ring.color_toward(0.0, std::f64::consts::PI),
+            LedColor::White
+        );
     }
 
     #[test]
@@ -372,9 +389,14 @@ mod tests {
         let arr = VerticalArray::new(VerticalAnimation::TakeOff);
         let trials = 200;
         let correct = (0..trials)
-            .filter(|_| arr.observe_direction(3, 0.45, 0.35, &mut rng) == Some(VerticalAnimation::TakeOff))
+            .filter(|_| {
+                arr.observe_direction(3, 0.45, 0.35, &mut rng) == Some(VerticalAnimation::TakeOff)
+            })
             .count();
         let acc = correct as f64 / trials as f64;
-        assert!(acc < 0.75, "heavily corrupted observation should not be reliable, got {acc}");
+        assert!(
+            acc < 0.75,
+            "heavily corrupted observation should not be reliable, got {acc}"
+        );
     }
 }

@@ -51,8 +51,8 @@ pub use kinematics::{DroneState, Kinematics, KinematicsLimits};
 pub use led::{
     LedColor, LedMode, LedRing, RingSnapshot, VerticalAnimation, VerticalArray, RING_LED_COUNT,
 };
-pub use rgb_status::{RgbStatusSignal, StatusHue};
 pub use patterns::{
     FlightPattern, PatternClassifier, PatternExecutor, PatternKind, TimedPose, Trajectory,
 };
+pub use rgb_status::{RgbStatusSignal, StatusHue};
 pub use wind::WindModel;

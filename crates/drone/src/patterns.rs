@@ -241,7 +241,11 @@ impl PatternExecutor {
                 self.sample(dur, |t| {
                     let s = (std::f64::consts::TAU * t / period).sin();
                     (
-                        Vec3::new(start.x, start.y, (start.z - self.nod_amplitude * s.max(0.0)).max(0.0)),
+                        Vec3::new(
+                            start.x,
+                            start.y,
+                            (start.z - self.nod_amplitude * s.max(0.0)).max(0.0),
+                        ),
                         heading,
                     )
                 })
@@ -254,7 +258,10 @@ impl PatternExecutor {
                     (start, heading + self.turn_amplitude * s)
                 })
             }
-            FlightPattern::RectangleRequest { half_width, half_depth } => {
+            FlightPattern::RectangleRequest {
+                half_width,
+                half_depth,
+            } => {
                 // perimeter circuit: start at one corner, go around, return
                 let corners = [
                     Vec2::new(-half_width, -half_depth),
@@ -294,7 +301,11 @@ impl PatternExecutor {
             .map(|i| {
                 let t = (i as f64 * self.dt).min(duration);
                 let (position, heading) = f(t);
-                TimedPose { t, position, heading }
+                TimedPose {
+                    t,
+                    position,
+                    heading,
+                }
             })
             .collect()
     }
@@ -403,7 +414,10 @@ impl PatternClassifier {
         let yaw_cycles = oscillation_cycles(&yaw, self.oscillation_threshold);
 
         // horizontal positions relative to start, projected on the dominant axis
-        let rel: Vec<Vec2> = s.iter().map(|p| p.position.xy() - first.position.xy()).collect();
+        let rel: Vec<Vec2> = s
+            .iter()
+            .map(|p| p.position.xy() - first.position.xy())
+            .collect();
         let max_r = rel.iter().map(|v| v.norm()).fold(0.0, f64::max);
         let principal = rel
             .iter()
@@ -459,13 +473,22 @@ mod tests {
 
     fn all_patterns() -> Vec<FlightPattern> {
         vec![
-            FlightPattern::TakeOff { target_altitude: 3.0 },
+            FlightPattern::TakeOff {
+                target_altitude: 3.0,
+            },
             FlightPattern::Landing,
-            FlightPattern::Cruise { to: Vec3::new(20.0, 5.0, 5.0) },
-            FlightPattern::Poke { toward: Vec2::new(0.0, 1.0) },
+            FlightPattern::Cruise {
+                to: Vec3::new(20.0, 5.0, 5.0),
+            },
+            FlightPattern::Poke {
+                toward: Vec2::new(0.0, 1.0),
+            },
             FlightPattern::Nod,
             FlightPattern::Turn,
-            FlightPattern::RectangleRequest { half_width: 2.0, half_depth: 1.5 },
+            FlightPattern::RectangleRequest {
+                half_width: 2.0,
+                half_depth: 1.5,
+            },
         ]
     }
 
@@ -491,7 +514,13 @@ mod tests {
     #[test]
     fn takeoff_ends_at_altitude() {
         let exec = PatternExecutor::default();
-        let traj = exec.generate(FlightPattern::TakeOff { target_altitude: 4.0 }, Vec3::ZERO, 0.0);
+        let traj = exec.generate(
+            FlightPattern::TakeOff {
+                target_altitude: 4.0,
+            },
+            Vec3::ZERO,
+            0.0,
+        );
         assert!((traj.samples().last().unwrap().position.z - 4.0).abs() < 1e-9);
         assert!((traj.duration() - 4.0).abs() < 0.1, "4 m at 1 m/s");
     }
@@ -503,7 +532,10 @@ mod tests {
         let traj = exec.generate(FlightPattern::Landing, start, 1.0);
         let last = traj.samples().last().unwrap();
         assert!(last.position.z < 1e-9);
-        assert!(last.position.xy().distance(start.xy()) < 1e-9, "landing is vertical");
+        assert!(
+            last.position.xy().distance(start.xy()) < 1e-9,
+            "landing is vertical"
+        );
     }
 
     #[test]
@@ -524,7 +556,10 @@ mod tests {
         let start = Vec3::new(0.0, 0.0, 5.0);
         let traj = exec.generate(FlightPattern::Poke { toward: Vec2::Y }, start, 0.0);
         let last = traj.samples().last().unwrap();
-        assert!(last.position.distance(start) < 0.1, "poke ends where it began");
+        assert!(
+            last.position.distance(start) < 0.1,
+            "poke ends where it began"
+        );
         // lunges only go toward the person (positive y), never behind
         for p in traj.samples() {
             assert!(p.position.y >= -1e-9);
@@ -537,7 +572,10 @@ mod tests {
         let start = Vec3::new(0.0, 0.0, 5.0);
         let traj = exec.generate(FlightPattern::Nod, start, 0.0);
         for p in traj.samples() {
-            assert!(p.position.z <= 5.0 + 1e-9, "nod dips below hover, not above");
+            assert!(
+                p.position.z <= 5.0 + 1e-9,
+                "nod dips below hover, not above"
+            );
         }
     }
 
@@ -561,7 +599,10 @@ mod tests {
         let exec = PatternExecutor::default();
         let start = Vec3::new(0.0, 0.0, 5.0);
         let traj = exec.generate(
-            FlightPattern::RectangleRequest { half_width: 2.0, half_depth: 1.0 },
+            FlightPattern::RectangleRequest {
+                half_width: 2.0,
+                half_depth: 1.0,
+            },
             start,
             0.0,
         );
@@ -596,7 +637,12 @@ mod tests {
                     }
                 })
                 .collect();
-            assert_eq!(classifier.classify(&noisy), Some(p.kind()), "{:?} lost in jitter", p.kind());
+            assert_eq!(
+                classifier.classify(&noisy),
+                Some(p.kind()),
+                "{:?} lost in jitter",
+                p.kind()
+            );
         }
     }
 
@@ -618,7 +664,11 @@ mod tests {
     fn kind_mapping() {
         assert_eq!(FlightPattern::Nod.kind(), PatternKind::Nod);
         assert_eq!(
-            FlightPattern::RectangleRequest { half_width: 1.0, half_depth: 1.0 }.kind(),
+            FlightPattern::RectangleRequest {
+                half_width: 1.0,
+                half_depth: 1.0
+            }
+            .kind(),
             PatternKind::RectangleRequest
         );
         assert_eq!(PatternKind::Turn.to_string(), "turn (no)");
@@ -627,13 +677,21 @@ mod tests {
     #[test]
     fn trajectory_helpers() {
         let t: Trajectory = (0..5)
-            .map(|i| TimedPose { t: i as f64, position: Vec3::ZERO, heading: 0.0 })
+            .map(|i| TimedPose {
+                t: i as f64,
+                position: Vec3::ZERO,
+                heading: 0.0,
+            })
             .collect();
         assert_eq!(t.len(), 5);
         assert!(!t.is_empty());
         assert_eq!(t.duration(), 4.0);
         let mut t2 = Trajectory::default();
-        t2.push(TimedPose { t: 0.0, position: Vec3::ZERO, heading: 0.0 });
+        t2.push(TimedPose {
+            t: 0.0,
+            position: Vec3::ZERO,
+            heading: 0.0,
+        });
         assert_eq!(t2.len(), 1);
         assert_eq!(t2.duration(), 0.0);
     }

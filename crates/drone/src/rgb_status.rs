@@ -170,6 +170,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(StatusHue::TakeOffGreen.to_string(), "pulsing green (take-off)");
+        assert_eq!(
+            StatusHue::TakeOffGreen.to_string(),
+            "pulsing green (take-off)"
+        );
     }
 }

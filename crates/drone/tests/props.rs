@@ -16,7 +16,9 @@ fn any_pattern() -> impl Strategy<Value = FlightPattern> {
         }),
         (-3.0f64..3.0, -3.0f64..3.0)
             .prop_filter("non-zero direction", |(x, y)| x.abs() + y.abs() > 0.1)
-            .prop_map(|(x, y)| FlightPattern::Poke { toward: Vec2::new(x, y) }),
+            .prop_map(|(x, y)| FlightPattern::Poke {
+                toward: Vec2::new(x, y)
+            }),
         Just(FlightPattern::Nod),
         Just(FlightPattern::Turn),
         (0.8f64..3.0, 0.8f64..3.0).prop_map(|(w, d)| FlightPattern::RectangleRequest {

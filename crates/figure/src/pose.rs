@@ -201,7 +201,10 @@ impl PoseLibrary {
     /// `(label, pose)` pairs for every posture in the library.
     pub fn all() -> Vec<(&'static str, Pose)> {
         vec![
-            ("AttentionGained", Pose::for_sign(MarshallingSign::AttentionGained)),
+            (
+                "AttentionGained",
+                Pose::for_sign(MarshallingSign::AttentionGained),
+            ),
             ("Yes", Pose::for_sign(MarshallingSign::Yes)),
             ("No", Pose::for_sign(MarshallingSign::No)),
             ("neutral", Pose::neutral()),
@@ -285,7 +288,9 @@ mod tests {
         assert_eq!(a.lerp(&b, 0.0), a);
         assert_eq!(a.lerp(&b, 1.0), b);
         let mid = a.lerp(&b, 0.5);
-        assert!((mid.right_abduction - (a.right_abduction + b.right_abduction) / 2.0).abs() < 1e-12);
+        assert!(
+            (mid.right_abduction - (a.right_abduction + b.right_abduction) / 2.0).abs() < 1e-12
+        );
     }
 
     #[test]

@@ -55,7 +55,11 @@ impl ViewSpec {
         let ground = Vec2::new(self.distance_m * az.sin(), self.distance_m * az.cos());
         let eye = Vec3::from_xy(ground, self.altitude_m);
         let target = Vec3::new(0.0, 0.0, 1.2); // chest height
-        PinholeCamera::look_at(eye, target, CameraIntrinsics::new(self.width, self.height, self.focal_px))
+        PinholeCamera::look_at(
+            eye,
+            target,
+            CameraIntrinsics::new(self.width, self.height, self.focal_px),
+        )
     }
 
     /// A signaller at the origin facing `+y`, holding `pose`.
@@ -123,23 +127,45 @@ mod tests {
 
     #[test]
     fn frontal_view_shows_figure() {
-        let img = render_sign(MarshallingSign::Yes, &ViewSpec::paper_default(0.0, 5.0, 3.0));
+        let img = render_sign(
+            MarshallingSign::Yes,
+            &ViewSpec::paper_default(0.0, 5.0, 3.0),
+        );
         assert!(lit(&img) > 1000, "figure visible: {} px", lit(&img));
     }
 
     #[test]
     fn farther_is_smaller() {
-        let near = render_sign(MarshallingSign::Yes, &ViewSpec::paper_default(0.0, 2.0, 3.0));
-        let far = render_sign(MarshallingSign::Yes, &ViewSpec::paper_default(0.0, 8.0, 3.0));
-        assert!(lit(&near) > 2 * lit(&far), "{} vs {}", lit(&near), lit(&far));
+        let near = render_sign(
+            MarshallingSign::Yes,
+            &ViewSpec::paper_default(0.0, 2.0, 3.0),
+        );
+        let far = render_sign(
+            MarshallingSign::Yes,
+            &ViewSpec::paper_default(0.0, 8.0, 3.0),
+        );
+        assert!(
+            lit(&near) > 2 * lit(&far),
+            "{} vs {}",
+            lit(&near),
+            lit(&far)
+        );
     }
 
     #[test]
     fn side_view_is_narrower() {
         let front = render_sign(MarshallingSign::No, &ViewSpec::paper_default(0.0, 5.0, 3.0));
-        let side = render_sign(MarshallingSign::No, &ViewSpec::paper_default(90.0, 5.0, 3.0));
+        let side = render_sign(
+            MarshallingSign::No,
+            &ViewSpec::paper_default(90.0, 5.0, 3.0),
+        );
         // foreshortening: the side view covers fewer pixels (arms overlap torso)
-        assert!(lit(&side) < lit(&front), "{} vs {}", lit(&side), lit(&front));
+        assert!(
+            lit(&side) < lit(&front),
+            "{} vs {}",
+            lit(&side),
+            lit(&front)
+        );
     }
 
     #[test]
@@ -160,8 +186,14 @@ mod tests {
     fn azimuth_symmetry_for_symmetric_sign() {
         // Yes is left-right symmetric: ±azimuth give mirror images with equal
         // pixel counts (within rasterisation noise)
-        let l = render_sign(MarshallingSign::Yes, &ViewSpec::paper_default(-40.0, 5.0, 3.0));
-        let r = render_sign(MarshallingSign::Yes, &ViewSpec::paper_default(40.0, 5.0, 3.0));
+        let l = render_sign(
+            MarshallingSign::Yes,
+            &ViewSpec::paper_default(-40.0, 5.0, 3.0),
+        );
+        let r = render_sign(
+            MarshallingSign::Yes,
+            &ViewSpec::paper_default(40.0, 5.0, 3.0),
+        );
         let (ll, lr) = (lit(&l) as f64, lit(&r) as f64);
         assert!((ll - lr).abs() / ll < 0.05, "{ll} vs {lr}");
     }
@@ -173,8 +205,12 @@ mod tests {
         let mut img = GrayImage::new(v.width, v.height);
         let a = v.signaller(Pose::neutral());
         let mut b = v.signaller(Pose::neutral());
-        b = Signaller::new(Vec2::new(1.5, 0.0), std::f64::consts::FRAC_PI_2, Pose::neutral())
-            .with_dimensions(*b.dimensions());
+        b = Signaller::new(
+            Vec2::new(1.5, 0.0),
+            std::f64::consts::FRAC_PI_2,
+            Pose::neutral(),
+        )
+        .with_dimensions(*b.dimensions());
         paint_signaller(&a, &cam, &mut img);
         let after_one = lit(&img);
         paint_signaller(&b, &cam, &mut img);

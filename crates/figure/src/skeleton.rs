@@ -86,7 +86,10 @@ impl BodyDimensions {
     /// # Panics
     /// Panics if either factor is not positive.
     pub fn with_proportions(&self, limb_factor: f64, girth_factor: f64) -> BodyDimensions {
-        assert!(limb_factor > 0.0 && girth_factor > 0.0, "factors must be positive");
+        assert!(
+            limb_factor > 0.0 && girth_factor > 0.0,
+            "factors must be positive"
+        );
         BodyDimensions {
             upper_arm: self.upper_arm * limb_factor,
             forearm: self.forearm * limb_factor,
@@ -180,7 +183,11 @@ impl Signaller {
 
     /// Chest point (useful as a camera look-at target).
     pub fn chest(&self) -> Vec3 {
-        self.local_to_world(Vec3::new(0.0, 0.0, (self.dims.hip_height + self.dims.shoulder_height) / 2.0))
+        self.local_to_world(Vec3::new(
+            0.0,
+            0.0,
+            (self.dims.hip_height + self.dims.shoulder_height) / 2.0,
+        ))
     }
 
     fn local_to_world(&self, p: Vec3) -> Vec3 {
@@ -279,7 +286,11 @@ mod tests {
             })
             .collect();
         // arms are the last 4 capsules: left upper, left fore, right upper, right fore
-        let idx = if right { arm_caps.len() - 1 } else { arm_caps.len() - 3 };
+        let idx = if right {
+            arm_caps.len() - 1
+        } else {
+            arm_caps.len() - 3
+        };
         arm_caps[idx].b.z
     }
 
@@ -362,7 +373,11 @@ mod tests {
             .collect();
         // all capsule endpoints stay near the y=0 plane
         for w in wrists {
-            assert!(w.y.abs() < 1e-9, "frontal plane should be x-z, got y={}", w.y);
+            assert!(
+                w.y.abs() < 1e-9,
+                "frontal plane should be x-z, got y={}",
+                w.y
+            );
         }
     }
 

@@ -5,8 +5,8 @@
 //! newtypes keep the two from being confused (C-NEWTYPE).
 
 use serde::{Deserialize, Serialize};
-use std::fmt;
 use std::f64::consts::{PI, TAU};
+use std::fmt;
 
 /// An angle expressed in degrees.
 ///

@@ -195,7 +195,10 @@ impl PinholeCamera {
         }
         let f = self.intrinsics.focal_px;
         Some(ProjectedDisk {
-            center: Vec2::new(f * c.x / c.z + self.intrinsics.cx, f * c.y / c.z + self.intrinsics.cy),
+            center: Vec2::new(
+                f * c.x / c.z + self.intrinsics.cx,
+                f * c.y / c.z + self.intrinsics.cy,
+            ),
             radius: f * s.radius / c.z,
             depth: c.z,
         })
@@ -273,8 +276,10 @@ mod tests {
     #[test]
     fn farther_is_smaller() {
         let intr = CameraIntrinsics::new(640, 480, 500.0);
-        let near_cam = PinholeCamera::look_at(Vec3::new(0.0, -3.0, 1.0), Vec3::new(0.0, 0.0, 1.0), intr);
-        let far_cam = PinholeCamera::look_at(Vec3::new(0.0, -6.0, 1.0), Vec3::new(0.0, 0.0, 1.0), intr);
+        let near_cam =
+            PinholeCamera::look_at(Vec3::new(0.0, -3.0, 1.0), Vec3::new(0.0, 0.0, 1.0), intr);
+        let far_cam =
+            PinholeCamera::look_at(Vec3::new(0.0, -6.0, 1.0), Vec3::new(0.0, 0.0, 1.0), intr);
         let s = Sphere3::new(Vec3::new(0.0, 0.0, 1.0), 0.1);
         let d_near = near_cam.project_sphere(&s).unwrap();
         let d_far = far_cam.project_sphere(&s).unwrap();
@@ -329,6 +334,10 @@ mod tests {
     fn fov_is_sane() {
         let intr = CameraIntrinsics::new(640, 480, 320.0);
         // width/2 == focal ⇒ 90° horizontal FOV
-        assert!(approx_eq(intr.horizontal_fov(), std::f64::consts::FRAC_PI_2, 1e-12));
+        assert!(approx_eq(
+            intr.horizontal_fov(),
+            std::f64::consts::FRAC_PI_2,
+            1e-12
+        ));
     }
 }

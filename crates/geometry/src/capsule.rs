@@ -102,7 +102,11 @@ mod tests {
     #[test]
     fn capsule_distance_midpoint() {
         let c = Capsule3::new(Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0), 0.25);
-        assert!(approx_eq(c.signed_distance(Vec3::new(1.0, 1.0, 0.0)), 0.75, 1e-12));
+        assert!(approx_eq(
+            c.signed_distance(Vec3::new(1.0, 1.0, 0.0)),
+            0.75,
+            1e-12
+        ));
         assert!(c.contains(Vec3::new(1.0, 0.2, 0.0)));
         assert!(!c.contains(Vec3::new(1.0, 0.3, 0.0)));
     }
@@ -111,8 +115,16 @@ mod tests {
     fn capsule_distance_beyond_ends() {
         let c = Capsule3::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), 0.1);
         // past end b the closest point clamps to b
-        assert!(approx_eq(c.signed_distance(Vec3::new(2.0, 0.0, 0.0)), 0.9, 1e-12));
-        assert!(approx_eq(c.signed_distance(Vec3::new(-1.0, 0.0, 0.0)), 0.9, 1e-12));
+        assert!(approx_eq(
+            c.signed_distance(Vec3::new(2.0, 0.0, 0.0)),
+            0.9,
+            1e-12
+        ));
+        assert!(approx_eq(
+            c.signed_distance(Vec3::new(-1.0, 0.0, 0.0)),
+            0.9,
+            1e-12
+        ));
     }
 
     #[test]

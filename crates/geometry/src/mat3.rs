@@ -37,22 +37,14 @@ impl Mat3 {
     /// Builds a matrix whose *rows* are the given vectors.
     pub fn from_row_vectors(r0: Vec3, r1: Vec3, r2: Vec3) -> Self {
         Mat3 {
-            m: [
-                [r0.x, r0.y, r0.z],
-                [r1.x, r1.y, r1.z],
-                [r2.x, r2.y, r2.z],
-            ],
+            m: [[r0.x, r0.y, r0.z], [r1.x, r1.y, r1.z], [r2.x, r2.y, r2.z]],
         }
     }
 
     /// Builds a matrix whose *columns* are the given vectors.
     pub fn from_col_vectors(c0: Vec3, c1: Vec3, c2: Vec3) -> Self {
         Mat3 {
-            m: [
-                [c0.x, c1.x, c2.x],
-                [c0.y, c1.y, c2.y],
-                [c0.z, c1.z, c2.z],
-            ],
+            m: [[c0.x, c1.x, c2.x], [c0.y, c1.y, c2.y], [c0.z, c1.z, c2.z]],
         }
     }
 

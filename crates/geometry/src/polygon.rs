@@ -30,12 +30,7 @@ impl Polygon {
     pub fn rectangle(a: Vec2, b: Vec2) -> Self {
         let lo = a.min(b);
         let hi = a.max(b);
-        Polygon::new(vec![
-            lo,
-            Vec2::new(hi.x, lo.y),
-            hi,
-            Vec2::new(lo.x, hi.y),
-        ])
+        Polygon::new(vec![lo, Vec2::new(hi.x, lo.y), hi, Vec2::new(lo.x, hi.y)])
     }
 
     /// Regular `n`-gon of given `radius` centred at `center`.
@@ -202,7 +197,11 @@ impl FromIterator<Vec2> for Polygon {
 /// ```
 pub fn convex_hull(points: &[Vec2]) -> Vec<Vec2> {
     let mut pts: Vec<Vec2> = points.to_vec();
-    pts.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap().then(a.y.partial_cmp(&b.y).unwrap()));
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap()
+            .then(a.y.partial_cmp(&b.y).unwrap())
+    });
     pts.dedup_by(|a, b| a.distance(*b) <= crate::EPS);
     let n = pts.len();
     if n < 3 {

@@ -30,7 +30,10 @@ impl Iso3 {
 
     /// Creates a transform from a rotation and a translation.
     pub fn new(rotation: Mat3, translation: Vec3) -> Self {
-        Iso3 { rotation, translation }
+        Iso3 {
+            rotation,
+            translation,
+        }
     }
 
     /// Pure translation.

@@ -76,7 +76,11 @@ impl EventQueue {
     /// Panics if `time` is not finite.
     pub fn schedule(&mut self, time: f64, event: ScheduledEvent) {
         assert!(time.is_finite(), "event time must be finite");
-        self.heap.push(Entry { time, seq: self.seq, event });
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            event,
+        });
         self.seq += 1;
     }
 

@@ -73,7 +73,10 @@ pub fn run_fleet(config: FleetConfig, map: &OrchardMap, seed: u64) -> FleetStats
         per_drone.push(mission.run());
     }
     FleetStats {
-        makespan_s: per_drone.iter().map(|s| s.mission_time_s).fold(0.0, f64::max),
+        makespan_s: per_drone
+            .iter()
+            .map(|s| s.mission_time_s)
+            .fold(0.0, f64::max),
         traps_read: per_drone.iter().map(|s| s.traps_read).sum(),
         energy_wh: per_drone.iter().map(|s| s.energy_wh).sum(),
         per_drone,
@@ -86,9 +89,18 @@ mod tests {
 
     fn fleet_of(n: u32, people: u32) -> FleetStats {
         let map = OrchardMap::grid(4, 6, 4.0, 3.0);
-        let mut mission = MissionConfig::default();
-        mission.human_count = people;
-        run_fleet(FleetConfig { drone_count: n, mission }, &map, 5)
+        let mission = MissionConfig {
+            human_count: people,
+            ..Default::default()
+        };
+        run_fleet(
+            FleetConfig {
+                drone_count: n,
+                mission,
+            },
+            &map,
+            5,
+        )
     }
 
     #[test]
@@ -133,7 +145,13 @@ mod tests {
         // more drones than traps: extra chunks are just empty
         let map = OrchardMap::grid(1, 2, 4.0, 3.0);
         let stats = run_fleet(
-            FleetConfig { drone_count: 8, mission: MissionConfig { human_count: 0, ..Default::default() } },
+            FleetConfig {
+                drone_count: 8,
+                mission: MissionConfig {
+                    human_count: 0,
+                    ..Default::default()
+                },
+            },
             &map,
             1,
         );
@@ -145,7 +163,10 @@ mod tests {
     fn zero_drones_rejected() {
         let map = OrchardMap::grid(1, 1, 1.0, 1.0);
         run_fleet(
-            FleetConfig { drone_count: 0, mission: MissionConfig::default() },
+            FleetConfig {
+                drone_count: 0,
+                mission: MissionConfig::default(),
+            },
             &map,
             1,
         );

@@ -43,13 +43,20 @@ impl OrchardMap {
     /// Panics if `rows`, `cols` or a spacing is zero/non-positive.
     pub fn grid(rows: u32, cols: u32, row_spacing: f64, col_spacing: f64) -> Self {
         assert!(rows > 0 && cols > 0, "orchard must have trees");
-        assert!(row_spacing > 0.0 && col_spacing > 0.0, "spacings must be positive");
+        assert!(
+            row_spacing > 0.0 && col_spacing > 0.0,
+            "spacings must be positive"
+        );
         let mut trees = Vec::with_capacity((rows * cols) as usize);
         let mut traps = Vec::with_capacity((rows * cols) as usize);
         for r in 0..rows {
             for c in 0..cols {
                 let position = Vec2::new(c as f64 * col_spacing, r as f64 * row_spacing);
-                trees.push(Tree { position, row: r, col: c });
+                trees.push(Tree {
+                    position,
+                    row: r,
+                    col: c,
+                });
                 traps.push(FlyTrap {
                     id: (r * cols + c),
                     position,
@@ -58,7 +65,12 @@ impl OrchardMap {
                 });
             }
         }
-        OrchardMap { trees, traps, row_spacing, col_spacing }
+        OrchardMap {
+            trees,
+            traps,
+            row_spacing,
+            col_spacing,
+        }
     }
 
     /// The trees.
@@ -173,7 +185,10 @@ mod tests {
             at = p;
         }
         let boustrophedon = 5.0 * 12.0 + 4.0 * 4.0; // 5 rows of 12 m + 4 row changes
-        assert!(len < 2.0 * boustrophedon, "tour {len} vs serpentine {boustrophedon}");
+        assert!(
+            len < 2.0 * boustrophedon,
+            "tour {len} vs serpentine {boustrophedon}"
+        );
     }
 
     #[test]

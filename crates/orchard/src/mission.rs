@@ -28,7 +28,8 @@ impl NegotiationBackend for StatisticalNegotiation {
         let mut rng = SmallRng::seed_from_u64(seed);
         let p = actor.role.profile();
         // attention phase: up to 3 pokes
-        let attended = (0..3).any(|_| rng.gen::<f64>() < p.attend_probability * p.correct_sign_probability);
+        let attended =
+            (0..3).any(|_| rng.gen::<f64>() < p.attend_probability * p.correct_sign_probability);
         if !attended {
             return SessionOutcome::Abandoned;
         }
@@ -222,7 +223,8 @@ impl Mission {
         let start = self.drone.state().position.xy();
         let mut pending_visits = 0u32;
         for id in self.map.plan_tour(start) {
-            self.queue.schedule(self.time, ScheduledEvent::VisitTrap(id));
+            self.queue
+                .schedule(self.time, ScheduledEvent::VisitTrap(id));
             pending_visits += 1;
         }
         for h in 0..self.humans.len() as u32 {
@@ -325,8 +327,10 @@ mod tests {
     #[test]
     fn empty_orchard_reads_everything() {
         let map = OrchardMap::grid(3, 3, 4.0, 3.0);
-        let mut cfg = MissionConfig::default();
-        cfg.human_count = 0;
+        let cfg = MissionConfig {
+            human_count: 0,
+            ..Default::default()
+        };
         let mut m = Mission::new(cfg, map, 1);
         let stats = m.run();
         assert_eq!(stats.traps_read, 9);
@@ -339,12 +343,17 @@ mod tests {
     #[test]
     fn humans_cause_negotiations() {
         let map = OrchardMap::grid(4, 4, 4.0, 3.0);
-        let mut cfg = MissionConfig::default();
-        cfg.human_count = 6;
-        cfg.blocking_radius_m = 6.0; // crowded orchard
+        let cfg = MissionConfig {
+            human_count: 6,
+            blocking_radius_m: 6.0, // crowded orchard
+            ..Default::default()
+        };
         let mut m = Mission::new(cfg, map, 2);
         let stats = m.run();
-        assert!(stats.negotiations.total() > 0, "crowd must trigger negotiations");
+        assert!(
+            stats.negotiations.total() > 0,
+            "crowd must trigger negotiations"
+        );
         assert_eq!(stats.traps_read + stats.traps_skipped, 16);
     }
 
@@ -352,8 +361,10 @@ mod tests {
     fn deterministic_given_seed() {
         let run = |seed| {
             let map = OrchardMap::grid(3, 3, 4.0, 3.0);
-            let mut cfg = MissionConfig::default();
-            cfg.human_count = 3;
+            let cfg = MissionConfig {
+                human_count: 3,
+                ..Default::default()
+            };
             Mission::new(cfg, map, seed).run()
         };
         let a = run(7);

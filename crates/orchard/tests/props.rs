@@ -42,8 +42,7 @@ proptest! {
         seed in 0u64..50,
     ) {
         let map = OrchardMap::grid(rows, cols, 4.0, 3.0);
-        let mut cfg = MissionConfig::default();
-        cfg.human_count = people;
+        let cfg = MissionConfig { human_count: people, ..Default::default() };
         let stats = Mission::new(cfg, map, seed).run();
         prop_assert_eq!(stats.traps_read + stats.traps_skipped, rows * cols);
         prop_assert!(stats.mission_time_s > 0.0);
@@ -56,8 +55,7 @@ proptest! {
     fn missions_are_deterministic(seed in 0u64..30) {
         let run = || {
             let map = OrchardMap::grid(3, 3, 4.0, 3.0);
-            let mut cfg = MissionConfig::default();
-            cfg.human_count = 3;
+            let cfg = MissionConfig { human_count: 3, ..Default::default() };
             Mission::new(cfg, map, seed).run()
         };
         prop_assert_eq!(run(), run());

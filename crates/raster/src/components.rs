@@ -57,10 +57,173 @@ impl Component {
     }
 }
 
-/// Labels all foreground components with breadth-first flood fill.
+/// Reusable buffers for component labelling, so the per-frame segmentation
+/// step performs no heap allocation in steady state.
+///
+/// The labeller is run-based: one sequential pass extracts horizontal
+/// foreground runs, a union-find over run indices merges runs that touch
+/// across rows, and statistics come from run arithmetic. Cost scales with
+/// the number of runs (hundreds per frame), not with the pixel count, which
+/// is what makes the component stage cheap at 1280×960.
+#[derive(Debug, Default, Clone)]
+pub struct LabelScratch {
+    /// Foreground runs `(row, start, end)` (inclusive), in row-major order.
+    runs: Vec<(u32, u32, u32)>,
+    /// Union-find parent per run.
+    parent: Vec<u32>,
+    /// 0-based component index per run (filled by the resolve pass).
+    run_comp: Vec<u32>,
+    /// Per-label statistics, rebuilt each call.
+    comps: Vec<Component>,
+}
+
+impl LabelScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The components from the most recent labelling, ordered by label.
+    pub fn components(&self) -> &[Component] {
+        &self.comps
+    }
+}
+
+/// Union-find root with path halving. Roots are always the component's
+/// first (row-major) run, because `union_runs` keeps the smaller index as
+/// the root.
+fn find(parent: &mut [u32], mut i: u32) -> u32 {
+    while parent[i as usize] != i {
+        parent[i as usize] = parent[parent[i as usize] as usize];
+        i = parent[i as usize];
+    }
+    i
+}
+
+fn union_runs(parent: &mut [u32], a: u32, b: u32) {
+    let ra = find(parent, a);
+    let rb = find(parent, b);
+    if ra < rb {
+        parent[rb as usize] = ra;
+    } else if rb < ra {
+        parent[ra as usize] = rb;
+    }
+}
+
+/// Core run-based labelling: extracts foreground runs, unions runs that
+/// touch across adjacent rows and resolves per-component statistics into
+/// `scratch`. Component numbering matches a row-major flood fill: labels are
+/// assigned in discovery order of each component's first (topmost, then
+/// leftmost) pixel.
+///
+/// Statistics are exact: every coordinate sum is a sum of integers, which
+/// f64 accumulates exactly at these image sizes regardless of order, so the
+/// results are bit-identical to the per-pixel BFS oracle.
+fn label_into(mask: &Bitmap, conn: Connectivity, scratch: &mut LabelScratch) {
+    let w = mask.width() as usize;
+    let h = mask.height() as usize;
+    let px = mask.pixels();
+    let runs = &mut scratch.runs;
+    let parent = &mut scratch.parent;
+    runs.clear();
+    parent.clear();
+    // 8-connectivity also joins runs that only touch diagonally: widen the
+    // overlap test by one pixel on each side.
+    let margin = match conn {
+        Connectivity::Four => 0u32,
+        Connectivity::Eight => 1u32,
+    };
+
+    let (mut prev_lo, mut prev_hi) = (0usize, 0usize);
+    for y in 0..h {
+        let row = &px[y * w..(y + 1) * w];
+        let row_lo = runs.len();
+        let mut p = prev_lo; // cursor over the previous row's runs
+        let mut x = 0usize;
+        while x < w {
+            // Skip background in 32-pixel blocks (the `any` over a fixed
+            // chunk vectorises), then byte-wise to the run start.
+            while x + 32 <= w && !row[x..x + 32].iter().any(|&b| b) {
+                x += 32;
+            }
+            if x >= w {
+                break;
+            }
+            if !row[x] {
+                x += 1;
+                continue;
+            }
+            let s = x as u32;
+            while x + 32 <= w && row[x..x + 32].iter().all(|&b| b) {
+                x += 32;
+            }
+            while x < w && row[x] {
+                x += 1;
+            }
+            let e = (x - 1) as u32;
+            let ri = runs.len() as u32;
+            runs.push((y as u32, s, e));
+            parent.push(ri);
+            // Union with every previous-row run this one touches. `p` only
+            // advances past runs that end strictly before this run starts,
+            // so a wide run above can still merge with the next run here.
+            while p < prev_hi && runs[p].2 + margin < s {
+                p += 1;
+            }
+            let mut q = p;
+            while q < prev_hi && runs[q].1 <= e + margin {
+                union_runs(parent, ri, q as u32);
+                q += 1;
+            }
+        }
+        prev_lo = row_lo;
+        prev_hi = runs.len();
+    }
+
+    // Resolve roots to component indices in first-run order (= row-major
+    // discovery order) and accumulate statistics from run arithmetic.
+    let run_comp = &mut scratch.run_comp;
+    run_comp.clear();
+    run_comp.resize(runs.len(), 0);
+    scratch.comps.clear();
+    for ri in 0..runs.len() {
+        let root = find(parent, ri as u32) as usize;
+        let ci = if root == ri {
+            let ci = scratch.comps.len() as u32;
+            scratch.comps.push(Component {
+                label: ci + 1,
+                area: 0,
+                centroid: Vec2::ZERO,
+                bbox: (u32::MAX, u32::MAX, 0, 0),
+            });
+            ci
+        } else {
+            run_comp[root] // roots are minimal, so already resolved
+        };
+        run_comp[ri] = ci;
+        let (y, s, e) = runs[ri];
+        let len = (e - s + 1) as usize;
+        let c = &mut scratch.comps[ci as usize];
+        c.area += len;
+        // Σ x over the run is an arithmetic series; len·(s+e) is always even.
+        c.centroid += Vec2::new((s + e) as f64 * len as f64 / 2.0, y as f64 * len as f64);
+        c.bbox.0 = c.bbox.0.min(s);
+        c.bbox.1 = c.bbox.1.min(y);
+        c.bbox.2 = c.bbox.2.max(e);
+        c.bbox.3 = c.bbox.3.max(y);
+    }
+    for c in &mut scratch.comps {
+        c.centroid /= c.area as f64;
+    }
+}
+
+/// Labels all foreground components with flood fill over the raw row-major
+/// pixel slice.
 ///
 /// Returns the label image (0 = background, labels start at 1) and per-label
-/// statistics ordered by label.
+/// statistics ordered by label. Labels are assigned in row-major discovery
+/// order, exactly like [`label_components_bfs`]; component statistics are
+/// accumulated in row-major pixel order.
 ///
 /// # Example
 /// ```
@@ -72,6 +235,24 @@ impl Component {
 /// assert_eq!(comps.len(), 2);
 /// ```
 pub fn label_components(mask: &Bitmap, conn: Connectivity) -> (Image<u32>, Vec<Component>) {
+    let mut scratch = LabelScratch::new();
+    label_into(mask, conn, &mut scratch);
+    let w = mask.width() as usize;
+    let mut labels = vec![0u32; w * mask.height() as usize];
+    for (ri, &(y, s, e)) in scratch.runs.iter().enumerate() {
+        let base = y as usize * w;
+        labels[base + s as usize..=base + e as usize].fill(scratch.run_comp[ri] + 1);
+    }
+    (
+        Image::from_raw(mask.width(), mask.height(), labels),
+        scratch.comps,
+    )
+}
+
+/// Reference implementation of [`label_components`]: breadth-first flood fill
+/// through the bounds-checked pixel accessors. Kept as the test oracle and
+/// the honest "before" baseline for the committed benchmark.
+pub fn label_components_bfs(mask: &Bitmap, conn: Connectivity) -> (Image<u32>, Vec<Component>) {
     let w = mask.width();
     let h = mask.height();
     let mut labels: Image<u32> = Image::new(w, h);
@@ -128,10 +309,36 @@ pub fn label_components(mask: &Bitmap, conn: Connectivity) -> (Image<u32>, Vec<C
 /// Returns `None` when the mask has no foreground at all. This implements the
 /// pipeline's assumption that the signaller is the dominant blob in frame.
 pub fn largest_component(mask: &Bitmap, conn: Connectivity) -> Option<(Bitmap, Component)> {
-    let (labels, comps) = label_components(mask, conn);
-    let biggest = comps.into_iter().max_by_key(|c| c.area)?;
-    let out = labels.map(|l| l == biggest.label);
-    Some((out, biggest))
+    let mut out = Bitmap::new(mask.width(), mask.height());
+    let comp = largest_component_with(mask, conn, &mut out, &mut LabelScratch::new())?;
+    Some((out, comp))
+}
+
+/// [`largest_component`] with caller-provided output mask and scratch
+/// buffers; the allocation-free form used by the steady-state frame loop.
+///
+/// `out` is re-dimensioned to match `mask` and every pixel is overwritten.
+/// Ties on area resolve to the highest label, like [`largest_component`].
+pub fn largest_component_with(
+    mask: &Bitmap,
+    conn: Connectivity,
+    out: &mut Bitmap,
+    scratch: &mut LabelScratch,
+) -> Option<Component> {
+    label_into(mask, conn, scratch);
+    let biggest = scratch.comps.iter().max_by_key(|c| c.area)?.clone();
+    out.reset_dimensions(mask.width(), mask.height());
+    let w = mask.width() as usize;
+    let dst = out.pixels_mut();
+    dst.fill(false);
+    let target = biggest.label - 1;
+    for (ri, &(y, s, e)) in scratch.runs.iter().enumerate() {
+        if scratch.run_comp[ri] == target {
+            let base = y as usize * w;
+            dst[base + s as usize..=base + e as usize].fill(true);
+        }
+    }
+    Some(biggest)
 }
 
 #[cfg(test)]
@@ -184,6 +391,68 @@ mod tests {
     fn empty_mask_has_no_largest() {
         let m = Bitmap::new(3, 3);
         assert!(largest_component(&m, Connectivity::Eight).is_none());
+    }
+
+    fn speckled(w: u32, h: u32, salt: u64) -> Bitmap {
+        // Deterministic pseudo-random mask with blobs at several scales.
+        let mut m = Bitmap::new(w, h);
+        let mut state = salt | 1;
+        for y in 0..h {
+            for x in 0..w {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let noise = (state >> 60) < 6;
+                let blob = (x / 7 + y / 5) % 3 == 0;
+                m.set(x, y, noise ^ blob);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn fast_labelling_matches_bfs_oracle() {
+        for (w, h, salt) in [(17u32, 13u32, 1u64), (40, 31, 7), (64, 48, 99)] {
+            let m = speckled(w, h, salt);
+            for conn in [Connectivity::Four, Connectivity::Eight] {
+                let (labels, comps) = label_components(&m, conn);
+                let (labels_bfs, comps_bfs) = label_components_bfs(&m, conn);
+                assert_eq!(labels, labels_bfs, "label image ({w}×{h}, {conn:?})");
+                assert_eq!(comps.len(), comps_bfs.len());
+                for (a, b) in comps.iter().zip(&comps_bfs) {
+                    assert_eq!(a.label, b.label);
+                    assert_eq!(a.area, b.area);
+                    assert_eq!(a.bbox, b.bbox);
+                    assert!(
+                        (a.centroid.x - b.centroid.x).abs() < 1e-9
+                            && (a.centroid.y - b.centroid.y).abs() < 1e-9,
+                        "centroid {:?} vs {:?}",
+                        a.centroid,
+                        b.centroid
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn largest_component_with_reuses_buffers() {
+        let mut out = Bitmap::new(1, 1);
+        let mut scratch = LabelScratch::new();
+        for salt in [3u64, 5, 8] {
+            let m = speckled(33, 21, salt);
+            let fast = largest_component_with(&m, Connectivity::Eight, &mut out, &mut scratch);
+            let slow = largest_component(&m, Connectivity::Eight);
+            match (fast, slow) {
+                (Some(fc), Some((sm, sc))) => {
+                    assert_eq!(fc.area, sc.area);
+                    assert_eq!(fc.bbox, sc.bbox);
+                    assert_eq!(out, sm);
+                }
+                (None, None) => {}
+                other => panic!("fast/slow disagree: {other:?}"),
+            }
+        }
     }
 
     #[test]

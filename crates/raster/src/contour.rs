@@ -57,22 +57,41 @@ const MOORE: [(i64, i64); 8] = [
 /// assert_eq!(c.len(), 8); // 3×3 square boundary
 /// ```
 pub fn trace_outer_contour(mask: &Bitmap) -> Option<Vec<ContourPoint>> {
+    let mut contour = Vec::new();
+    trace_outer_contour_into(mask, &mut contour).then_some(contour)
+}
+
+/// [`trace_outer_contour`] into a caller-provided buffer (cleared first); the
+/// allocation-free form used by the steady-state frame loop.
+///
+/// Returns `false` (with `out` left empty) when the mask is entirely
+/// background.
+pub fn trace_outer_contour_into(mask: &Bitmap, out: &mut Vec<ContourPoint>) -> bool {
+    out.clear();
     let fg = |x: i64, y: i64| mask.get_padded(x, y);
 
     // Row-major scan for the start pixel; everything before it is background,
-    // so its west neighbour is guaranteed background.
-    let mut start = None;
-    'scan: for y in 0..mask.height() {
-        for x in 0..mask.width() {
-            if mask.get(x, y) == Some(true) {
-                start = Some((x as i64, y as i64));
-                break 'scan;
-            }
-        }
+    // so its west neighbour is guaranteed background. Skip background in
+    // 32-pixel blocks (the `any` over a fixed chunk vectorises).
+    let px = mask.pixels();
+    let n = px.len();
+    let mut i = 0usize;
+    while i + 32 <= n && !px[i..i + 32].iter().any(|&b| b) {
+        i += 32;
     }
-    let (sx, sy) = start?;
+    while i < n && !px[i] {
+        i += 1;
+    }
+    if i == n {
+        return false;
+    }
+    let w = mask.width() as usize;
+    let (sx, sy) = ((i % w) as i64, (i / w) as i64);
 
-    let mut contour = vec![ContourPoint { x: sx as u32, y: sy as u32 }];
+    out.push(ContourPoint {
+        x: sx as u32,
+        y: sy as u32,
+    });
     // Backtrack begins at the west neighbour (index 0 in MOORE).
     let mut cur = (sx, sy);
     let mut backtrack_idx = 0usize;
@@ -96,7 +115,7 @@ pub fn trace_outer_contour(mask: &Bitmap) -> Option<Vec<ContourPoint>> {
         }
         let Some((next, prev_bg_idx)) = found else {
             // isolated pixel
-            return Some(contour);
+            return true;
         };
         // New backtrack: direction from `next` to the background pixel we
         // examined immediately before finding `next`.
@@ -117,13 +136,16 @@ pub fn trace_outer_contour(mask: &Bitmap) -> Option<Vec<ContourPoint>> {
 
         cur = next;
         backtrack_idx = new_backtrack;
-        contour.push(ContourPoint { x: cur.0 as u32, y: cur.1 as u32 });
+        out.push(ContourPoint {
+            x: cur.0 as u32,
+            y: cur.1 as u32,
+        });
     }
     // The loop closes back at the start; drop the duplicated start point if present.
-    if contour.len() > 1 && contour.last() == contour.first() {
-        contour.pop();
+    if out.len() > 1 && out.last() == out.first() {
+        out.pop();
     }
-    Some(contour)
+    true
 }
 
 /// Computes the perimeter length of a closed contour (Euclidean, with √2 for
@@ -202,7 +224,10 @@ mod tests {
             let b = c[(i + 1) % c.len()];
             let dx = (a.x as i64 - b.x as i64).abs();
             let dy = (a.y as i64 - b.y as i64).abs();
-            assert!(dx <= 1 && dy <= 1 && (dx + dy) > 0, "gap between {a:?} and {b:?}");
+            assert!(
+                dx <= 1 && dy <= 1 && (dx + dy) > 0,
+                "gap between {a:?} and {b:?}"
+            );
         }
     }
 
@@ -223,7 +248,10 @@ mod tests {
         let c = trace_outer_contour(&mask).unwrap();
         let centroid = contour_centroid(&c).unwrap();
         let center = Vec2::new(mask.width() as f64 / 2.0, mask.height() as f64 / 2.0);
-        assert!(centroid.distance(center) < 1.5, "centroid {centroid} vs {center}");
+        assert!(
+            centroid.distance(center) < 1.5,
+            "centroid {centroid} vs {center}"
+        );
     }
 
     #[test]
@@ -255,6 +283,18 @@ mod tests {
         assert!(c.iter().any(|p| p.x == 2 && p.y == 1));
         assert!(c.iter().any(|p| p.x == 4 && p.y == 1));
         assert!(c.len() > 16);
+    }
+
+    #[test]
+    fn contour_buffer_reuse_matches_allocating_form() {
+        let mut buf = Vec::new();
+        for r in [6.0, 20.0, 11.0] {
+            let m = disk_mask(r);
+            assert!(trace_outer_contour_into(&m, &mut buf));
+            assert_eq!(Some(buf.clone()), trace_outer_contour(&m), "radius {r}");
+        }
+        assert!(!trace_outer_contour_into(&Bitmap::new(4, 4), &mut buf));
+        assert!(buf.is_empty(), "empty mask clears the buffer");
     }
 
     #[test]

@@ -148,7 +148,10 @@ mod tests {
         fill_disk(&mut img, Vec2::new(50.0, 50.0), 20.0, 255);
         let area = img.pixels().iter().filter(|p| **p > 0).count() as f64;
         let expected = std::f64::consts::PI * 400.0;
-        assert!((area - expected).abs() / expected < 0.05, "area {area} vs {expected}");
+        assert!(
+            (area - expected).abs() / expected < 0.05,
+            "area {area} vs {expected}"
+        );
     }
 
     #[test]
@@ -169,7 +172,14 @@ mod tests {
     #[test]
     fn capsule_covers_both_ends() {
         let mut img = GrayImage::new(60, 30);
-        fill_tapered_capsule(&mut img, Vec2::new(10.0, 15.0), 5.0, Vec2::new(50.0, 15.0), 2.0, 255);
+        fill_tapered_capsule(
+            &mut img,
+            Vec2::new(10.0, 15.0),
+            5.0,
+            Vec2::new(50.0, 15.0),
+            2.0,
+            255,
+        );
         assert_eq!(img.get(10, 15), Some(255));
         assert_eq!(img.get(50, 15), Some(255));
         assert_eq!(img.get(30, 15), Some(255));
@@ -181,7 +191,14 @@ mod tests {
     #[test]
     fn degenerate_capsule_is_disk() {
         let mut img = GrayImage::new(20, 20);
-        fill_tapered_capsule(&mut img, Vec2::new(10.0, 10.0), 4.0, Vec2::new(10.0, 10.0), 4.0, 255);
+        fill_tapered_capsule(
+            &mut img,
+            Vec2::new(10.0, 10.0),
+            4.0,
+            Vec2::new(10.0, 10.0),
+            4.0,
+            255,
+        );
         assert_eq!(img.get(10, 10), Some(255));
         assert!(img.pixels().iter().filter(|p| **p > 0).count() > 30);
     }

@@ -52,6 +52,39 @@ impl<T: Copy + Default> Image<T> {
         }
     }
 
+    /// Wraps an existing row-major pixel buffer.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero or `data.len() != width * height`.
+    pub fn from_raw(width: u32, height: u32, data: Vec<T>) -> Self {
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        assert_eq!(
+            data.len(),
+            (width as usize) * (height as usize),
+            "pixel buffer does not match dimensions"
+        );
+        Image {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Re-dimensions the image to `width × height`, reusing the existing
+    /// pixel buffer when possible (no allocation when the capacity already
+    /// suffices). Pixel contents are unspecified afterwards; callers are
+    /// expected to overwrite every pixel.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn reset_dimensions(&mut self, width: u32, height: u32) {
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        let n = (width as usize) * (height as usize);
+        self.data.resize(n, T::default());
+        self.width = width;
+        self.height = height;
+    }
+
     /// Image width in pixels.
     pub fn width(&self) -> u32 {
         self.width

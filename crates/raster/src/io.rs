@@ -62,7 +62,9 @@ pub fn decode_pgm(bytes: &[u8]) -> io::Result<GrayImage> {
         return Err(err("only maxval 255 supported"));
     }
     let need = (w as usize) * (h as usize);
-    let data = bytes.get(pos..pos + need).ok_or_else(|| err("truncated pixel data"))?;
+    let data = bytes
+        .get(pos..pos + need)
+        .ok_or_else(|| err("truncated pixel data"))?;
     let mut img = GrayImage::new(w, h);
     img.pixels_mut().copy_from_slice(data);
     Ok(img)
@@ -74,7 +76,15 @@ pub fn ascii_art(mask: &Bitmap) -> String {
     let mut s = String::with_capacity((mask.width() as usize + 1) * mask.height() as usize);
     for y in 0..mask.height() {
         for x in 0..mask.width() {
-            let _ = write!(s, "{}", if mask.get(x, y) == Some(true) { '#' } else { '.' });
+            let _ = write!(
+                s,
+                "{}",
+                if mask.get(x, y) == Some(true) {
+                    '#'
+                } else {
+                    '.'
+                }
+            );
         }
         s.push('\n');
     }

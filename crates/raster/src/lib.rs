@@ -37,6 +37,9 @@ pub mod morphology;
 pub mod noise;
 pub mod threshold;
 
-pub use components::{label_components, largest_component, Component, Connectivity};
-pub use contour::{trace_outer_contour, ContourPoint};
+pub use components::{
+    label_components, label_components_bfs, largest_component, largest_component_with, Component,
+    Connectivity, LabelScratch,
+};
+pub use contour::{trace_outer_contour, trace_outer_contour_into, ContourPoint};
 pub use image::{Bitmap, GrayImage, Image};

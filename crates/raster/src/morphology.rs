@@ -30,6 +30,106 @@ fn neighbourhood_any(mask: &Bitmap, x: i64, y: i64) -> bool {
 /// there too.
 pub fn erode(mask: &Bitmap) -> Bitmap {
     let mut out = Bitmap::new(mask.width(), mask.height());
+    erode_into(mask, &mut out);
+    out
+}
+
+/// [`erode`] into a caller-provided mask (re-dimensioned to match, every
+/// pixel overwritten); the allocation-free form used by the steady-state
+/// frame loop. The inner loop works on three row slices at a time instead of
+/// bounds-checked per-neighbour reads.
+pub fn erode_into(mask: &Bitmap, out: &mut Bitmap) {
+    let w = mask.width() as usize;
+    let h = mask.height() as usize;
+    out.reset_dimensions(mask.width(), mask.height());
+    let src = mask.pixels();
+    let dst = out.pixels_mut();
+    // Border pixels always erode away (outside counts as background).
+    if w <= 2 || h <= 2 {
+        dst.fill(false);
+        return;
+    }
+    dst[..w].fill(false);
+    dst[(h - 1) * w..].fill(false);
+    for y in 1..h - 1 {
+        let up = &src[(y - 1) * w..y * w];
+        let mid = &src[y * w..(y + 1) * w];
+        let down = &src[(y + 1) * w..(y + 2) * w];
+        let row = &mut dst[y * w..(y + 1) * w];
+        row[0] = false;
+        row[w - 1] = false;
+        for x in 1..w - 1 {
+            row[x] = up[x - 1]
+                && up[x]
+                && up[x + 1]
+                && mid[x - 1]
+                && mid[x]
+                && mid[x + 1]
+                && down[x - 1]
+                && down[x]
+                && down[x + 1];
+        }
+    }
+}
+
+/// Dilation: a pixel becomes foreground if any 3×3 neighbour is foreground.
+pub fn dilate(mask: &Bitmap) -> Bitmap {
+    let mut out = Bitmap::new(mask.width(), mask.height());
+    dilate_into(mask, &mut out);
+    out
+}
+
+/// [`dilate`] into a caller-provided mask (re-dimensioned to match, every
+/// pixel overwritten); the allocation-free form used by the steady-state
+/// frame loop.
+pub fn dilate_into(mask: &Bitmap, out: &mut Bitmap) {
+    let w = mask.width() as usize;
+    let h = mask.height() as usize;
+    out.reset_dimensions(mask.width(), mask.height());
+    let src = mask.pixels();
+    let dst = out.pixels_mut();
+    for y in 0..h {
+        let y_lo = y.saturating_sub(1);
+        let y_hi = (y + 2).min(h);
+        let row = &mut dst[y * w..(y + 1) * w];
+        for (x, slot) in row.iter_mut().enumerate() {
+            let x_lo = x.saturating_sub(1);
+            let x_hi = (x + 2).min(w);
+            let mut any = false;
+            for ny in y_lo..y_hi {
+                let window = &src[ny * w + x_lo..ny * w + x_hi];
+                if window.iter().any(|p| *p) {
+                    any = true;
+                    break;
+                }
+            }
+            *slot = any;
+        }
+    }
+}
+
+/// Opening (erode then dilate): removes speckle smaller than the kernel.
+pub fn open(mask: &Bitmap) -> Bitmap {
+    dilate(&erode(mask))
+}
+
+/// [`open`] through caller-provided intermediate and output masks; the
+/// allocation-free form used by the steady-state frame loop.
+pub fn open_into(mask: &Bitmap, eroded: &mut Bitmap, out: &mut Bitmap) {
+    erode_into(mask, eroded);
+    dilate_into(eroded, out);
+}
+
+/// Closing (dilate then erode): fills pinholes smaller than the kernel.
+pub fn close(mask: &Bitmap) -> Bitmap {
+    erode(&dilate(mask))
+}
+
+/// Reference erosion through the bounds-checked padded accessor — the
+/// pre-optimisation implementation, kept as the test oracle and the honest
+/// "before" baseline for the committed benchmark.
+pub fn erode_reference(mask: &Bitmap) -> Bitmap {
+    let mut out = Bitmap::new(mask.width(), mask.height());
     for y in 0..mask.height() {
         for x in 0..mask.width() {
             out.set(x, y, neighbourhood_all(mask, x as i64, y as i64));
@@ -38,8 +138,9 @@ pub fn erode(mask: &Bitmap) -> Bitmap {
     out
 }
 
-/// Dilation: a pixel becomes foreground if any 3×3 neighbour is foreground.
-pub fn dilate(mask: &Bitmap) -> Bitmap {
+/// Reference dilation through the bounds-checked padded accessor (see
+/// [`erode_reference`]).
+pub fn dilate_reference(mask: &Bitmap) -> Bitmap {
     let mut out = Bitmap::new(mask.width(), mask.height());
     for y in 0..mask.height() {
         for x in 0..mask.width() {
@@ -47,16 +148,6 @@ pub fn dilate(mask: &Bitmap) -> Bitmap {
         }
     }
     out
-}
-
-/// Opening (erode then dilate): removes speckle smaller than the kernel.
-pub fn open(mask: &Bitmap) -> Bitmap {
-    dilate(&erode(mask))
-}
-
-/// Closing (dilate then erode): fills pinholes smaller than the kernel.
-pub fn close(mask: &Bitmap) -> Bitmap {
-    erode(&dilate(mask))
 }
 
 #[cfg(test)]
@@ -104,6 +195,30 @@ mod tests {
         let m = mask_from_rows(&["#####", "#####", "##.##", "#####", "#####"]);
         let c = close(&m);
         assert_eq!(c.get(2, 2), Some(true), "pinhole filled");
+    }
+
+    #[test]
+    fn row_slice_morphology_matches_reference() {
+        // Deterministic speckle over several sizes, including degenerate 1-2
+        // pixel dimensions where every pixel is a border pixel.
+        for (w, h) in [(1u32, 1u32), (2, 5), (3, 3), (17, 11), (40, 23)] {
+            let mut m = Bitmap::new(w, h);
+            let mut state = 0x9e3779b97f4a7c15u64 ^ u64::from(w * 131 + h);
+            for y in 0..h {
+                for x in 0..w {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    m.set(x, y, (state >> 62) != 0);
+                }
+            }
+            assert_eq!(erode(&m), erode_reference(&m), "erode {w}×{h}");
+            assert_eq!(dilate(&m), dilate_reference(&m), "dilate {w}×{h}");
+            let mut tmp = Bitmap::new(1, 1);
+            let mut out = Bitmap::new(1, 1);
+            open_into(&m, &mut tmp, &mut out);
+            assert_eq!(out, open(&m), "open {w}×{h}");
+        }
     }
 
     #[test]

@@ -18,6 +18,16 @@ pub fn binarize(img: &GrayImage, t: u8) -> Bitmap {
     img.map(|p| p > t)
 }
 
+/// [`binarize`] into a caller-provided mask (re-dimensioned to match, every
+/// pixel overwritten); the allocation-free form used by the steady-state
+/// frame loop.
+pub fn binarize_into(img: &GrayImage, t: u8, out: &mut Bitmap) {
+    out.reset_dimensions(img.width(), img.height());
+    for (dst, src) in out.pixels_mut().iter_mut().zip(img.pixels()) {
+        *dst = *src > t;
+    }
+}
+
 /// Computes Otsu's optimal global threshold from the image histogram.
 ///
 /// Returns the threshold value `t` such that [`binarize`]`(img, t)` separates
@@ -26,7 +36,11 @@ pub fn binarize(img: &GrayImage, t: u8) -> Bitmap {
 pub fn otsu_threshold(img: &GrayImage) -> u8 {
     let hist = img.histogram();
     let total = img.pixel_count() as f64;
-    let sum_all: f64 = hist.iter().enumerate().map(|(i, c)| i as f64 * *c as f64).sum();
+    let sum_all: f64 = hist
+        .iter()
+        .enumerate()
+        .map(|(i, c)| i as f64 * *c as f64)
+        .sum();
 
     let mut sum_bg = 0.0;
     let mut weight_bg = 0.0;
@@ -83,7 +97,10 @@ mod tests {
             *p = if i < 50 { 30 } else { 220 };
         }
         let t = otsu_threshold(&img);
-        assert!((30..220).contains(&t), "otsu threshold {t} should split the modes");
+        assert!(
+            (30..220).contains(&t),
+            "otsu threshold {t} should split the modes"
+        );
         let b = binarize(&img, t);
         assert_eq!(b.count_foreground(), 50);
     }

@@ -3,21 +3,22 @@
 use hdc_geometry::Vec2;
 use hdc_raster::contour::{contour_perimeter, trace_outer_contour};
 use hdc_raster::io::{decode_pgm, encode_pgm};
-use hdc_raster::morphology::{close, dilate, erode, open};
+use hdc_raster::morphology::{close, dilate, dilate_reference, erode, erode_reference, open};
 use hdc_raster::threshold::{binarize, otsu_threshold};
-use hdc_raster::{draw, label_components, largest_component, Bitmap, Connectivity, GrayImage};
+use hdc_raster::{
+    draw, label_components, label_components_bfs, largest_component, Bitmap, Connectivity,
+    GrayImage,
+};
 use proptest::prelude::*;
 
 fn small_gray() -> impl Strategy<Value = GrayImage> {
-    (2u32..24, 2u32..24)
-        .prop_flat_map(|(w, h)| {
-            prop::collection::vec(any::<u8>(), (w * h) as usize)
-                .prop_map(move |data| {
-                    let mut img = GrayImage::new(w, h);
-                    img.pixels_mut().copy_from_slice(&data);
-                    img
-                })
+    (2u32..24, 2u32..24).prop_flat_map(|(w, h)| {
+        prop::collection::vec(any::<u8>(), (w * h) as usize).prop_map(move |data| {
+            let mut img = GrayImage::new(w, h);
+            img.pixels_mut().copy_from_slice(&data);
+            img
         })
+    })
 }
 
 fn small_mask() -> impl Strategy<Value = Bitmap> {
@@ -80,6 +81,50 @@ proptest! {
         } else {
             prop_assert_eq!(m.count_foreground(), 0);
         }
+    }
+
+    #[test]
+    fn run_labelling_matches_bfs_oracle(m in small_mask(), eight in any::<bool>()) {
+        // The run-based union-find labeller must agree with the retained BFS
+        // oracle on everything: the label image exactly, and every
+        // component's label, area, bbox and centroid.
+        let conn = if eight { Connectivity::Eight } else { Connectivity::Four };
+        let (labels, comps) = label_components(&m, conn);
+        let (labels_bfs, comps_bfs) = label_components_bfs(&m, conn);
+        prop_assert_eq!(labels, labels_bfs);
+        prop_assert_eq!(comps.len(), comps_bfs.len());
+        for (c, r) in comps.iter().zip(&comps_bfs) {
+            prop_assert_eq!(c.label, r.label);
+            prop_assert_eq!(c.area, r.area);
+            prop_assert_eq!(c.bbox, r.bbox);
+            prop_assert!((c.centroid - r.centroid).norm() < 1e-9,
+                "centroid {} vs {}", c.centroid, r.centroid);
+        }
+    }
+
+    #[test]
+    fn largest_blob_matches_bfs_oracle(m in small_mask()) {
+        // The pipeline's blob-isolation step against the BFS reference:
+        // same largest blob (area, bbox, centroid) and same isolated mask.
+        match largest_component(&m, Connectivity::Eight) {
+            Some((mask, comp)) => {
+                let (labels, comps) = label_components_bfs(&m, Connectivity::Eight);
+                let best = comps.iter().max_by_key(|c| c.area).unwrap();
+                prop_assert_eq!(comp.area, best.area);
+                prop_assert_eq!(comp.bbox, best.bbox);
+                prop_assert!((comp.centroid - best.centroid).norm() < 1e-9);
+                for (x, y, v) in mask.iter() {
+                    prop_assert_eq!(v, labels.get(x, y) == Some(best.label));
+                }
+            }
+            None => prop_assert_eq!(m.count_foreground(), 0),
+        }
+    }
+
+    #[test]
+    fn row_slice_morphology_matches_padded_reference(m in small_mask()) {
+        prop_assert_eq!(erode(&m), erode_reference(&m));
+        prop_assert_eq!(dilate(&m), dilate_reference(&m));
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub const MAX_ALPHABET: u8 = 26;
 /// assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-5);
 /// ```
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "quantile probability must be in (0,1), got {p}"
+    );
 
     // Coefficients for Acklam's approximation.
     const A: [f64; 6] = [
@@ -136,7 +139,11 @@ mod tests {
         for p in [0.01, 0.1, 0.3, 0.45] {
             let lo = normal_quantile(p);
             let hi = normal_quantile(1.0 - p);
-            assert!((lo + hi).abs() < 1e-8, "Φ⁻¹({p}) = {lo}, Φ⁻¹({}) = {hi}", 1.0 - p);
+            assert!(
+                (lo + hi).abs() < 1e-8,
+                "Φ⁻¹({p}) = {lo}, Φ⁻¹({}) = {hi}",
+                1.0 - p
+            );
         }
     }
 

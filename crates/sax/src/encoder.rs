@@ -71,7 +71,10 @@ impl Default for SaxParams {
     /// enough to keep the three marshalling signs well separated (see the
     /// tuning experiment E10).
     fn default() -> Self {
-        SaxParams { segments: 16, alphabet: 4 }
+        SaxParams {
+            segments: 16,
+            alphabet: 4,
+        }
     }
 }
 
@@ -140,6 +143,14 @@ impl SaxEncoder {
         let symbols = frames.iter().map(|v| symbol_for(*v, &self.bps)).collect();
         SaxWord::new(symbols, self.params.alphabet).expect("encoder produces valid symbols")
     }
+
+    /// Symbolises PAA frames into a caller-provided buffer; the
+    /// allocation-free form of [`SaxEncoder::symbolize_frames`] used by the
+    /// steady-state matching loop.
+    pub fn symbolize_into(&self, frames: &[f64], out: &mut Vec<u8>) {
+        out.clear();
+        out.extend(frames.iter().map(|v| symbol_for(*v, &self.bps)));
+    }
 }
 
 #[cfg(test)]
@@ -150,8 +161,14 @@ mod tests {
     fn params_validate() {
         assert!(SaxParams::new(8, 4).is_ok());
         assert_eq!(SaxParams::new(0, 4), Err(SaxParamsError::ZeroSegments));
-        assert_eq!(SaxParams::new(8, 1), Err(SaxParamsError::AlphabetOutOfRange(1)));
-        assert_eq!(SaxParams::new(8, 27), Err(SaxParamsError::AlphabetOutOfRange(27)));
+        assert_eq!(
+            SaxParams::new(8, 1),
+            Err(SaxParamsError::AlphabetOutOfRange(1))
+        );
+        assert_eq!(
+            SaxParams::new(8, 27),
+            Err(SaxParamsError::AlphabetOutOfRange(27))
+        );
         assert_eq!(SaxParams::default().segments(), 16);
     }
 

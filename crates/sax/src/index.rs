@@ -9,7 +9,10 @@
 use crate::encoder::{SaxEncoder, SaxParams};
 use crate::mindist::{mindist_with_table, symbol_distance_table};
 use crate::word::SaxWord;
-use hdc_timeseries::{min_rotated_euclidean, resample, TimeSeries};
+use hdc_timeseries::{
+    min_rotated_euclidean_naive, min_rotated_euclidean_with, paa_into, resample, resample_into,
+    znormalize_in_place, RotationScratch, TimeSeries,
+};
 use serde::{Deserialize, Serialize};
 
 /// A stored canonical signature.
@@ -36,6 +39,58 @@ pub struct IndexMatch {
     pub shift: usize,
 }
 
+/// A lookup result borrowing its label from the index — the allocation-free
+/// counterpart of [`IndexMatch`] returned by the `*_with` query methods.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexMatchRef<'a> {
+    /// Label of the best-matching template (borrowed from the index).
+    pub label: &'a str,
+    /// Rotation-invariant MINDIST lower bound to that template.
+    pub lower_bound: f64,
+    /// Exact rotation-invariant Euclidean distance.
+    pub distance: f64,
+    /// Circular shift (in samples) that aligned the query with the template.
+    pub shift: usize,
+}
+
+impl IndexMatchRef<'_> {
+    /// Converts to the owning form (clones the label).
+    pub fn into_owned(self) -> IndexMatch {
+        IndexMatch {
+            label: self.label.to_string(),
+            lower_bound: self.lower_bound,
+            distance: self.distance,
+            shift: self.shift,
+        }
+    }
+}
+
+/// Reusable buffers for the `*_with` query methods on [`SaxIndex`], so the
+/// steady-state recognition loop performs no heap allocation per query.
+#[derive(Debug, Default, Clone)]
+pub struct QueryScratch {
+    /// Canonical (resampled + z-normalised) query signature.
+    canonical: Vec<f64>,
+    /// Second z-normalisation pass feeding the encoder (mirrors the encoder's
+    /// own normalisation of the canonical series).
+    znorm: Vec<f64>,
+    /// PAA frames of the query.
+    frames: Vec<f64>,
+    /// SAX symbols of the query.
+    syms: Vec<u8>,
+    /// `(lower bound, template index)` visit order.
+    order: Vec<(f64, usize)>,
+    /// Rotation-distance scratch.
+    rot: RotationScratch,
+}
+
+impl QueryScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A database of SAX-encoded shape signatures.
 ///
 /// # Example
@@ -55,6 +110,12 @@ pub struct SaxIndex {
     series_len: usize,
     templates: Vec<Template>,
     table: Vec<Vec<f64>>,
+    /// Flattened `alphabet × alphabet` table of *squared* symbol distances —
+    /// the per-position MINDIST cost without the per-query squaring.
+    dsq: Vec<f64>,
+    /// Per-template word symbols doubled back-to-back, so the word rotated
+    /// left by `s` is the slice `doubled[s..s + w]` — no allocation per shift.
+    doubled: Vec<Vec<u8>>,
 }
 
 impl SaxIndex {
@@ -67,11 +128,21 @@ impl SaxIndex {
     /// Panics if `series_len` is zero.
     pub fn new(params: SaxParams, series_len: usize) -> Self {
         assert!(series_len > 0, "series length must be positive");
+        let table = symbol_distance_table(params.alphabet());
+        let a = params.alphabet() as usize;
+        let mut dsq = vec![0.0; a * a];
+        for (i, row) in table.iter().enumerate() {
+            for (j, d) in row.iter().enumerate() {
+                dsq[i * a + j] = d * d;
+            }
+        }
         SaxIndex {
             encoder: SaxEncoder::new(params),
             series_len,
             templates: Vec::new(),
-            table: symbol_distance_table(params.alphabet()),
+            table,
+            dsq,
+            doubled: Vec::new(),
         }
     }
 
@@ -110,6 +181,10 @@ impl SaxIndex {
     pub fn insert(&mut self, label: impl Into<String>, series: &[f64]) {
         let canonical = self.canonicalize(series);
         let word = self.encoder.encode(&canonical);
+        let mut doubled = Vec::with_capacity(word.len() * 2);
+        doubled.extend_from_slice(word.symbols());
+        doubled.extend_from_slice(word.symbols());
+        self.doubled.push(doubled);
         self.templates.push(Template {
             label: label.into(),
             word,
@@ -123,6 +198,58 @@ impl SaxIndex {
         self.encoder.encode(&self.canonicalize(series))
     }
 
+    /// Canonicalises the query into `scratch` and computes the rotation
+    /// lower bound to every template, leaving `(lb, index)` pairs in
+    /// `scratch.order` sorted ascending. No heap allocation in steady state.
+    fn prepare_query(&self, series: &[f64], scratch: &mut QueryScratch) {
+        scratch.canonical.resize(self.series_len, 0.0);
+        resample_into(series, &mut scratch.canonical);
+        znormalize_in_place(&mut scratch.canonical);
+
+        // The encoder z-normalises its input itself; replicate that second
+        // pass so the symbols match `encode(&canonicalize(series))` exactly.
+        scratch.znorm.clear();
+        scratch.znorm.extend_from_slice(&scratch.canonical);
+        znormalize_in_place(&mut scratch.znorm);
+        let w = self.encoder.params().segments();
+        scratch.frames.resize(w, 0.0);
+        if w <= self.series_len {
+            paa_into(&scratch.znorm, &mut scratch.frames);
+        } else {
+            // Series shorter than the word: the encoder stretches by
+            // resampling (PAA is the identity in that regime).
+            resample_into(&scratch.znorm, &mut scratch.frames);
+        }
+        self.encoder
+            .symbolize_into(&scratch.frames, &mut scratch.syms);
+
+        let a = self.encoder.params().alphabet() as usize;
+        let scale = self.series_len as f64 / w as f64;
+        scratch.order.clear();
+        for (i, doubled) in self.doubled.iter().enumerate() {
+            let mut lb = f64::INFINITY;
+            for shift in 0..w {
+                let window = &doubled[shift..shift + w];
+                let sum: f64 = scratch
+                    .syms
+                    .iter()
+                    .zip(window)
+                    .map(|(q, t)| self.dsq[*q as usize * a + *t as usize])
+                    .sum();
+                let d = (scale * sum).sqrt();
+                if d < lb {
+                    lb = d;
+                }
+            }
+            scratch.order.push((lb, i));
+        }
+        // Ascending lower bound, ties broken by insertion order — the same
+        // visit order a stable sort on the lower bound alone would give.
+        scratch
+            .order
+            .sort_unstable_by(|x, y| x.partial_cmp(y).unwrap());
+    }
+
     /// Finds the best-matching template for a query signature.
     ///
     /// Strategy: compute the rotation-invariant MINDIST lower bound to every
@@ -133,13 +260,141 @@ impl SaxIndex {
     ///
     /// Returns `None` when the index is empty.
     pub fn best_match(&self, series: &[f64]) -> Option<IndexMatch> {
+        self.best_match_with(series, &mut QueryScratch::new())
+            .map(IndexMatchRef::into_owned)
+    }
+
+    /// [`SaxIndex::best_match`] with caller-provided scratch buffers and a
+    /// borrowed label; the allocation-free form used by the steady-state
+    /// recognition loop.
+    pub fn best_match_with<'a>(
+        &'a self,
+        series: &[f64],
+        scratch: &mut QueryScratch,
+    ) -> Option<IndexMatchRef<'a>> {
+        if self.templates.is_empty() {
+            return None;
+        }
+        self.prepare_query(series, scratch);
+        let mut best: Option<IndexMatchRef<'a>> = None;
+        for k in 0..scratch.order.len() {
+            let (lb, i) = scratch.order[k];
+            if let Some(ref b) = best {
+                if lb >= b.distance {
+                    break; // every remaining lower bound is worse
+                }
+            }
+            let t = &self.templates[i];
+            let (d, shift) =
+                min_rotated_euclidean_with(&scratch.canonical, &t.series, 1, &mut scratch.rot)
+                    .expect("canonical series are equal-length and non-empty");
+            if best.as_ref().is_none_or(|b| d < b.distance) {
+                best = Some(IndexMatchRef {
+                    label: &t.label,
+                    lower_bound: lb,
+                    distance: d,
+                    shift,
+                });
+            }
+        }
+        best
+    }
+
+    /// Like [`SaxIndex::best_match`] but also returns the exact distance to
+    /// the best template of a *different* label, when one exists — the
+    /// runner-up used by ambiguity (ratio) tests.
+    ///
+    /// Note that the runner-up distance is exact (not approximated): ratio
+    /// tests need the true second-best value. Pruning therefore only skips a
+    /// template once its lower bound exceeds the current runner-up distance —
+    /// such a template can change neither the winner nor the runner-up.
+    pub fn best_two(&self, series: &[f64]) -> Option<(IndexMatch, Option<f64>)> {
+        self.best_two_with(series, &mut QueryScratch::new())
+            .map(|(m, r)| (m.into_owned(), r))
+    }
+
+    /// [`SaxIndex::best_two`] with caller-provided scratch buffers and a
+    /// borrowed label; the allocation-free form used by the steady-state
+    /// recognition loop.
+    pub fn best_two_with<'a>(
+        &'a self,
+        series: &[f64],
+        scratch: &mut QueryScratch,
+    ) -> Option<(IndexMatchRef<'a>, Option<f64>)> {
+        if self.templates.is_empty() {
+            return None;
+        }
+        self.prepare_query(series, scratch);
+
+        // Track the global best and the best among *other* labels, ordering
+        // ties by template index (what a stable sort on exact distance over
+        // the whole database would produce).
+        struct Entry {
+            d: f64,
+            idx: usize,
+            lb: f64,
+            shift: usize,
+        }
+        let beats = |d: f64, idx: usize, e: &Entry| d < e.d || (d == e.d && idx < e.idx);
+        let mut best: Option<Entry> = None;
+        let mut runner: Option<Entry> = None;
+        for k in 0..scratch.order.len() {
+            let (lb, i) = scratch.order[k];
+            if let Some(ref r) = runner {
+                if lb > r.d {
+                    break; // can change neither winner nor runner-up
+                }
+            }
+            let t = &self.templates[i];
+            let (d, shift) =
+                min_rotated_euclidean_with(&scratch.canonical, &t.series, 1, &mut scratch.rot)
+                    .expect("canonical series are equal-length and non-empty");
+            let entry = Entry {
+                d,
+                idx: i,
+                lb,
+                shift,
+            };
+            match best {
+                None => best = Some(entry),
+                Some(ref b) if beats(d, i, b) => {
+                    // The dethroned winner is the best candidate from any
+                    // other label (it beat the previous runner-up too).
+                    let old = best.replace(entry).expect("just matched Some");
+                    if self.templates[old.idx].label != t.label {
+                        runner = Some(old);
+                    }
+                }
+                Some(ref b) => {
+                    if self.templates[b.idx].label != t.label
+                        && runner.as_ref().is_none_or(|r| beats(d, i, r))
+                    {
+                        runner = Some(entry);
+                    }
+                }
+            }
+        }
+        let b = best.expect("templates are non-empty");
+        let best_ref = IndexMatchRef {
+            label: &self.templates[b.idx].label,
+            lower_bound: b.lb,
+            distance: b.d,
+            shift: b.shift,
+        };
+        Some((best_ref, runner.map(|r| r.d)))
+    }
+
+    /// Reference implementation of [`SaxIndex::best_match`]: the
+    /// pre-optimisation search that materialises a rotated word per shift and
+    /// a rotated series per alignment. Kept as the test oracle and the honest
+    /// "before" baseline for the committed benchmark.
+    pub fn best_match_reference(&self, series: &[f64]) -> Option<IndexMatch> {
         if self.templates.is_empty() {
             return None;
         }
         let canonical = self.canonicalize(series);
         let query_word = self.encoder.encode(&canonical);
 
-        // Lower bounds, word-level rotation search.
         let mut candidates: Vec<(usize, f64)> = self
             .templates
             .iter()
@@ -162,11 +417,11 @@ impl SaxIndex {
         for (i, lb) in candidates {
             if let Some(ref b) = best {
                 if lb >= b.distance {
-                    break; // every remaining lower bound is worse
+                    break;
                 }
             }
             let t = &self.templates[i];
-            let (d, shift) = min_rotated_euclidean(&canonical, &t.series, 1)
+            let (d, shift) = min_rotated_euclidean_naive(&canonical, &t.series, 1)
                 .expect("canonical series are equal-length and non-empty");
             if best.as_ref().is_none_or(|b| d < b.distance) {
                 best = Some(IndexMatch {
@@ -180,21 +435,16 @@ impl SaxIndex {
         best
     }
 
-    /// Like [`SaxIndex::best_match`] but also returns the exact distance to
-    /// the best template of a *different* label, when one exists — the
-    /// runner-up used by ambiguity (ratio) tests.
-    ///
-    /// Note that the runner-up distance is exact (not pruned): ratio tests
-    /// need the true second-best value.
-    pub fn best_two(&self, series: &[f64]) -> Option<(IndexMatch, Option<f64>)> {
+    /// Reference implementation of [`SaxIndex::best_two`]: exact distance to
+    /// every template, sorted. Kept as the test oracle and the honest
+    /// "before" baseline for the committed benchmark.
+    pub fn best_two_reference(&self, series: &[f64]) -> Option<(IndexMatch, Option<f64>)> {
         if self.templates.is_empty() {
             return None;
         }
         let canonical = self.canonicalize(series);
         let query_word = self.encoder.encode(&canonical);
 
-        // Lower bounds, word-level rotation search (kept for the IndexMatch
-        // diagnostics even though the ratio test forces exact distances).
         let mut exact: Vec<(usize, f64, f64, usize)> = self
             .templates
             .iter()
@@ -208,7 +458,7 @@ impl SaxIndex {
                         lb = d;
                     }
                 }
-                let (d, shift) = min_rotated_euclidean(&canonical, &t.series, 1)
+                let (d, shift) = min_rotated_euclidean_naive(&canonical, &t.series, 1)
                     .expect("canonical series are equal-length and non-empty");
                 (i, lb, d, shift)
             })
@@ -244,7 +494,13 @@ mod tests {
 
     fn square_wave(n: usize, period: usize) -> Vec<f64> {
         (0..n)
-            .map(|i| if (i / period).is_multiple_of(2) { 1.0 } else { -1.0 })
+            .map(|i| {
+                if (i / period).is_multiple_of(2) {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
             .collect()
     }
 
@@ -284,7 +540,11 @@ mod tests {
         let rotated = rotate_left(&sine(128, 7.0), 37);
         let m = idx.best_match(&rotated).unwrap();
         assert_eq!(m.label, "sine7");
-        assert!(m.distance < 1e-6, "rotation-invariant match, got {}", m.distance);
+        assert!(
+            m.distance < 1e-6,
+            "rotation-invariant match, got {}",
+            m.distance
+        );
     }
 
     #[test]
@@ -301,7 +561,9 @@ mod tests {
         let q = sine(128, 3.0);
         assert!(idx.classify(&q, 0.5).is_some());
         // white-ish junk: far from every template
-        let junk: Vec<f64> = (0..128u64).map(|i| ((i * 2654435761) % 97) as f64).collect();
+        let junk: Vec<f64> = (0..128u64)
+            .map(|i| ((i * 2654435761) % 97) as f64)
+            .collect();
         let m = idx.best_match(&junk).unwrap();
         assert!(idx.classify(&junk, m.distance / 2.0).is_none());
     }
@@ -313,6 +575,58 @@ mod tests {
             let m = idx.best_match(&q).unwrap();
             assert!(m.lower_bound <= m.distance + 1e-9);
         }
+    }
+
+    #[test]
+    fn pruned_search_matches_reference() {
+        let idx = index_with_shapes();
+        let queries = [
+            sine(128, 3.0),
+            sine(128, 7.0),
+            sine(128, 5.0),
+            square_wave(128, 16),
+            square_wave(128, 8),
+            rotate_left(&sine(128, 7.0), 37),
+            rotate_left(&square_wave(128, 16), 5),
+            sine(300, 3.0),
+        ];
+        let mut scratch = QueryScratch::new();
+        for (qi, q) in queries.iter().enumerate() {
+            let fast = idx
+                .best_match_with(q, &mut scratch)
+                .map(IndexMatchRef::into_owned);
+            let reference = idx.best_match_reference(q);
+            assert_eq!(fast, reference, "best_match query {qi}");
+            let fast_two = idx
+                .best_two_with(q, &mut scratch)
+                .map(|(m, r)| (m.into_owned(), r));
+            let reference_two = idx.best_two_reference(q);
+            assert_eq!(fast_two, reference_two, "best_two query {qi}");
+        }
+    }
+
+    #[test]
+    fn best_two_single_label_has_no_runner_up() {
+        let mut idx = SaxIndex::new(SaxParams::default(), 128);
+        idx.insert("only", &sine(128, 3.0));
+        idx.insert("only", &sine(128, 5.0));
+        let (m, runner) = idx.best_two(&sine(128, 3.0)).unwrap();
+        assert_eq!(m.label, "only");
+        assert!(runner.is_none());
+        assert_eq!(idx.best_two_reference(&sine(128, 3.0)).unwrap().1, None);
+    }
+
+    #[test]
+    fn duplicate_templates_tie_break_like_reference() {
+        // Identical series under different labels force exact-distance ties;
+        // the pruned search must break them the same way the reference does.
+        let mut idx = SaxIndex::new(SaxParams::default(), 128);
+        idx.insert("first", &sine(128, 3.0));
+        idx.insert("second", &sine(128, 3.0));
+        idx.insert("third", &sine(128, 5.0));
+        let q = rotate_left(&sine(128, 3.0), 9);
+        assert_eq!(idx.best_two(&q), idx.best_two_reference(&q));
+        assert_eq!(idx.best_match(&q), idx.best_match_reference(&q));
     }
 
     #[test]

@@ -36,6 +36,6 @@ mod word;
 
 pub use breakpoints::{breakpoints, normal_quantile, MAX_ALPHABET, MIN_ALPHABET};
 pub use encoder::{SaxEncoder, SaxParams, SaxParamsError};
-pub use index::{IndexMatch, SaxIndex, Template};
-pub use mindist::{mindist, min_rotated_mindist, symbol_distance_table};
+pub use index::{IndexMatch, IndexMatchRef, QueryScratch, SaxIndex, Template};
+pub use mindist::{min_rotated_mindist, mindist, symbol_distance_table};
 pub use word::{SaxWord, SaxWordError};

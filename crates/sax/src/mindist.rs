@@ -45,7 +45,11 @@ pub fn symbol_distance_table(alphabet: u8) -> Vec<Vec<f64>> {
 /// ```
 pub fn mindist(a: &SaxWord, b: &SaxWord, original_len: usize) -> f64 {
     assert_eq!(a.len(), b.len(), "MINDIST needs equal word lengths");
-    assert_eq!(a.alphabet(), b.alphabet(), "MINDIST needs matching alphabets");
+    assert_eq!(
+        a.alphabet(),
+        b.alphabet(),
+        "MINDIST needs matching alphabets"
+    );
     assert!(original_len > 0, "original series length must be positive");
     let table = symbol_distance_table(a.alphabet());
     mindist_with_table(a, b, original_len, &table)
@@ -87,7 +91,11 @@ pub fn mindist_with_table(
 /// Same contracts as [`mindist`].
 pub fn min_rotated_mindist(a: &SaxWord, b: &SaxWord, original_len: usize) -> (f64, usize) {
     assert_eq!(a.len(), b.len(), "MINDIST needs equal word lengths");
-    assert_eq!(a.alphabet(), b.alphabet(), "MINDIST needs matching alphabets");
+    assert_eq!(
+        a.alphabet(),
+        b.alphabet(),
+        "MINDIST needs matching alphabets"
+    );
     let table = symbol_distance_table(a.alphabet());
     let mut best = (f64::INFINITY, 0usize);
     for shift in 0..b.len() {
@@ -110,8 +118,8 @@ mod tests {
     fn table_structure() {
         let t = symbol_distance_table(4);
         // adjacent symbols are free
-        for i in 0..4 {
-            assert_eq!(t[i][i], 0.0);
+        for (i, row) in t.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
         }
         assert_eq!(t[0][1], 0.0);
         assert_eq!(t[1][2], 0.0);
@@ -189,7 +197,10 @@ mod tests {
         // free under MINDIST — it is a lower bound, not a metric)
         let table = symbol_distance_table(5);
         let exact = mindist_with_table(&wa, &wb.rotated_left(12), n, &table);
-        assert!(exact < 1e-9, "true rotation must be among the zero-cost shifts");
+        assert!(
+            exact < 1e-9,
+            "true rotation must be among the zero-cost shifts"
+        );
     }
 
     #[test]

@@ -48,7 +48,11 @@ where
                 }
             };
             let score = eval(params);
-            out.push(TuningResult { segments: w, alphabet: a, score });
+            out.push(TuningResult {
+                segments: w,
+                alphabet: a,
+                score,
+            });
         }
     }
     out.sort_by(|x, y| {
@@ -92,9 +96,17 @@ mod tests {
 
     #[test]
     fn sorted_by_score_then_cost() {
-        let res = grid_search(&[16, 4], &[4, 3], |p| {
-            if p.segments() == 4 { 2.0 } else { 1.0 }
-        });
+        let res = grid_search(
+            &[16, 4],
+            &[4, 3],
+            |p| {
+                if p.segments() == 4 {
+                    2.0
+                } else {
+                    1.0
+                }
+            },
+        );
         assert_eq!(res[0].segments, 4);
         // ties at segments=4 broken toward the smaller alphabet
         assert_eq!(res[0].alphabet, 3);

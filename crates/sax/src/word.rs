@@ -65,7 +65,10 @@ impl SaxWord {
             return Err(SaxWordError::Empty);
         }
         if let Some(&bad) = symbols.iter().find(|s| **s >= alphabet) {
-            return Err(SaxWordError::SymbolOutOfRange { symbol: bad, alphabet });
+            return Err(SaxWordError::SymbolOutOfRange {
+                symbol: bad,
+                alphabet,
+            });
         }
         Ok(SaxWord { symbols, alphabet })
     }
@@ -113,7 +116,10 @@ impl SaxWord {
         let mut symbols = Vec::with_capacity(n);
         symbols.extend_from_slice(&self.symbols[s..]);
         symbols.extend_from_slice(&self.symbols[..s]);
-        SaxWord { symbols, alphabet: self.alphabet }
+        SaxWord {
+            symbols,
+            alphabet: self.alphabet,
+        }
     }
 }
 
@@ -158,7 +164,10 @@ mod tests {
         assert!(SaxWord::new(vec![0, 1, 2], 3).is_ok());
         assert_eq!(
             SaxWord::new(vec![0, 3], 3),
-            Err(SaxWordError::SymbolOutOfRange { symbol: 3, alphabet: 3 })
+            Err(SaxWordError::SymbolOutOfRange {
+                symbol: 3,
+                alphabet: 3
+            })
         );
         assert_eq!(SaxWord::new(vec![], 3), Err(SaxWordError::Empty));
     }
@@ -173,7 +182,10 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        assert_eq!("aBc".parse::<SaxWord>(), Err(SaxWordError::InvalidCharacter('B')));
+        assert_eq!(
+            "aBc".parse::<SaxWord>(),
+            Err(SaxWordError::InvalidCharacter('B'))
+        );
         assert_eq!("".parse::<SaxWord>(), Err(SaxWordError::Empty));
     }
 
@@ -204,7 +216,11 @@ mod tests {
     #[test]
     fn error_messages() {
         assert_eq!(
-            SaxWordError::SymbolOutOfRange { symbol: 9, alphabet: 4 }.to_string(),
+            SaxWordError::SymbolOutOfRange {
+                symbol: 9,
+                alphabet: 4
+            }
+            .to_string(),
             "symbol 9 out of range for alphabet 4"
         );
         assert_eq!(SaxWordError::Empty.to_string(), "empty SAX word");

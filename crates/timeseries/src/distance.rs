@@ -1,5 +1,6 @@
 //! Series distances: Euclidean, DTW (full and banded), rotation-minimised.
 
+use crate::fft::{circular_cross_correlation_into, FftScratch};
 use crate::transform::rotate_left;
 use std::fmt;
 
@@ -44,7 +45,10 @@ impl std::error::Error for DistanceError {}
 /// ```
 pub fn euclidean(a: &[f64], b: &[f64]) -> Result<f64, DistanceError> {
     if a.len() != b.len() {
-        return Err(DistanceError::LengthMismatch { a: a.len(), b: b.len() });
+        return Err(DistanceError::LengthMismatch {
+            a: a.len(),
+            b: b.len(),
+        });
     }
     if a.is_empty() {
         return Err(DistanceError::Empty);
@@ -88,8 +92,16 @@ pub fn dtw_banded(a: &[f64], b: &[f64], band: usize) -> Result<f64, DistanceErro
     prev[0] = 0.0;
     for i in 1..=n {
         cur.fill(inf);
-        let j_lo = if band == usize::MAX { 1 } else { i.saturating_sub(band).max(1) };
-        let j_hi = if band == usize::MAX { m } else { (i + band).min(m) };
+        let j_lo = if band == usize::MAX {
+            1
+        } else {
+            i.saturating_sub(band).max(1)
+        };
+        let j_hi = if band == usize::MAX {
+            m
+        } else {
+            (i + band).min(m)
+        };
         for j in j_lo..=j_hi {
             let cost = (a[i - 1] - b[j - 1]) * (a[i - 1] - b[j - 1]);
             let best = prev[j].min(cur[j - 1]).min(prev[j - 1]);
@@ -100,6 +112,22 @@ pub fn dtw_banded(a: &[f64], b: &[f64], band: usize) -> Result<f64, DistanceErro
     Ok(prev[m].sqrt())
 }
 
+/// Reusable buffers for [`min_rotated_euclidean_with`], so repeated rotation
+/// matching (one call per template per frame) performs no heap allocation in
+/// steady state.
+#[derive(Debug, Default, Clone)]
+pub struct RotationScratch {
+    ccorr: Vec<f64>,
+    fft: FftScratch,
+}
+
+impl RotationScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Minimum Euclidean distance over all circular rotations of `b`, returning
 /// `(distance, best_shift)`.
 ///
@@ -107,6 +135,13 @@ pub fn dtw_banded(a: &[f64], b: &[f64], band: usize) -> Result<f64, DistanceErro
 /// circularly shifted contour signature, so the best alignment over shifts is
 /// the rotation-free distance. `stride` sub-samples the shift search
 /// (`stride = 1` is exhaustive).
+///
+/// All rotation distances are derived from one circular cross-correlation
+/// (`‖a − rot(b, s)‖² = Σa² + Σb² − 2·ccorr(a, b)[s]`, FFT-accelerated for
+/// power-of-two lengths), then the winning shifts are re-evaluated with the
+/// plain subtract-square sum so the result is bit-identical to
+/// [`min_rotated_euclidean_naive`], including tie-breaking on the earliest
+/// shift.
 ///
 /// # Errors
 /// Same as [`euclidean`]; additionally `stride` of zero yields
@@ -116,11 +151,103 @@ pub fn min_rotated_euclidean(
     b: &[f64],
     stride: usize,
 ) -> Result<(f64, usize), DistanceError> {
+    min_rotated_euclidean_with(a, b, stride, &mut RotationScratch::new())
+}
+
+/// [`min_rotated_euclidean`] with caller-provided scratch buffers; the
+/// allocation-free form used by the steady-state recognition loop.
+///
+/// # Errors
+/// Same as [`min_rotated_euclidean`].
+pub fn min_rotated_euclidean_with(
+    a: &[f64],
+    b: &[f64],
+    stride: usize,
+    scratch: &mut RotationScratch,
+) -> Result<(f64, usize), DistanceError> {
     if stride == 0 {
         return Err(DistanceError::Empty);
     }
     if a.len() != b.len() {
-        return Err(DistanceError::LengthMismatch { a: a.len(), b: b.len() });
+        return Err(DistanceError::LengthMismatch {
+            a: a.len(),
+            b: b.len(),
+        });
+    }
+    if a.is_empty() {
+        return Err(DistanceError::Empty);
+    }
+    let n = a.len();
+    let sa: f64 = a.iter().map(|x| x * x).sum();
+    let sb: f64 = b.iter().map(|x| x * x).sum();
+
+    scratch.ccorr.clear();
+    scratch.ccorr.resize(n, 0.0);
+    circular_cross_correlation_into(a, b, &mut scratch.ccorr, &mut scratch.fft);
+
+    // First pass: minimum *estimated* squared distance over admissible shifts.
+    let mut min_est = f64::INFINITY;
+    for s in (0..n).step_by(stride) {
+        let est = sa + sb - 2.0 * scratch.ccorr[s];
+        if est < min_est {
+            min_est = est;
+        }
+    }
+    // Second pass: exact re-evaluation at every shift whose estimate is within
+    // the FFT rounding tolerance of the minimum. The tolerance scales with the
+    // energy of the inputs (correlation entries are O(sa + sb)); candidates it
+    // admits only cost one extra O(n) pass each, never correctness.
+    let eps = (sa + sb + 1.0) * 1e-9;
+    let mut best = (f64::INFINITY, 0usize);
+    for s in (0..n).step_by(stride) {
+        let est = sa + sb - 2.0 * scratch.ccorr[s];
+        if est <= min_est + eps {
+            let d = rotated_euclidean_at(a, b, s);
+            if d < best.0 {
+                best = (d, s);
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Exact Euclidean distance between `a` and `rot(b, shift)`, accumulated in
+/// the same element order as [`euclidean`] on a materialised rotation (so the
+/// floating-point result is bit-identical to the naive oracle's).
+fn rotated_euclidean_at(a: &[f64], b: &[f64], shift: usize) -> f64 {
+    let n = a.len();
+    let k = n - shift;
+    let mut acc = 0.0;
+    for i in 0..k {
+        let d = a[i] - b[shift + i];
+        acc += d * d;
+    }
+    for i in k..n {
+        let d = a[i] - b[i - k];
+        acc += d * d;
+    }
+    acc.sqrt()
+}
+
+/// Reference implementation of [`min_rotated_euclidean`]: materialises each
+/// rotation and measures it. `O(n²)` with an allocation per shift — kept as
+/// the test oracle and the honest "before" baseline for benchmarks.
+///
+/// # Errors
+/// Same as [`min_rotated_euclidean`].
+pub fn min_rotated_euclidean_naive(
+    a: &[f64],
+    b: &[f64],
+    stride: usize,
+) -> Result<(f64, usize), DistanceError> {
+    if stride == 0 {
+        return Err(DistanceError::Empty);
+    }
+    if a.len() != b.len() {
+        return Err(DistanceError::LengthMismatch {
+            a: a.len(),
+            b: b.len(),
+        });
     }
     if a.is_empty() {
         return Err(DistanceError::Empty);
@@ -185,7 +312,10 @@ mod tests {
         let b: Vec<f64> = (0..40).map(|i| (i as f64 * 0.3 + 0.8).sin()).collect();
         let full = dtw(&a, &b).unwrap();
         let banded = dtw_banded(&a, &b, 3).unwrap();
-        assert!(banded >= full - 1e-12, "band constrains the path: {banded} >= {full}");
+        assert!(
+            banded >= full - 1e-12,
+            "band constrains the path: {banded} >= {full}"
+        );
     }
 
     #[test]
@@ -203,6 +333,44 @@ mod tests {
         assert!(d < 1e-12);
         // rotating b left by 4 recovers a (2 + 4 = 6 ≡ 0)
         assert_eq!(shift, 4);
+    }
+
+    #[test]
+    fn fast_rotation_matches_naive_bitwise() {
+        // Covers the FFT path (128 = 2^7 ≥ FFT_MIN_LEN), the direct path (37)
+        // and small lengths, with strides 1..4.
+        for n in [3usize, 8, 37, 64, 128] {
+            let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() * 3.0 + 0.5).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).cos() - 1.2).collect();
+            for stride in 1..=4 {
+                let fast = min_rotated_euclidean(&a, &b, stride).unwrap();
+                let naive = min_rotated_euclidean_naive(&a, &b, stride).unwrap();
+                assert_eq!(fast, naive, "n={n} stride={stride}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_rotation_exact_zero_on_self_match() {
+        // d = 0 is where FFT rounding would otherwise show up as sqrt(ε);
+        // exact re-evaluation must return literally 0.0 like the naive loop.
+        let a: Vec<f64> = (0..128).map(|i| (i as f64 * 0.17).sin()).collect();
+        let b = rotate_left(&a, 11);
+        let (d, shift) = min_rotated_euclidean(&a, &b, 1).unwrap();
+        assert_eq!(d, 0.0);
+        assert_eq!(shift, 128 - 11);
+    }
+
+    #[test]
+    fn rotation_scratch_reuse_across_lengths() {
+        let mut scratch = RotationScratch::new();
+        for n in [128usize, 37, 64] {
+            let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let b = rotate_left(&a, n / 3);
+            let fast = min_rotated_euclidean_with(&a, &b, 1, &mut scratch).unwrap();
+            let naive = min_rotated_euclidean_naive(&a, &b, 1).unwrap();
+            assert_eq!(fast, naive, "n={n}");
+        }
     }
 
     #[test]

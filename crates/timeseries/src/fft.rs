@@ -1,0 +1,256 @@
+//! In-crate radix-2 FFT and circular cross-correlation.
+//!
+//! The rotation-invariant matching step needs the squared Euclidean distance
+//! between `a` and every circular rotation of `b`:
+//!
+//! ```text
+//! ‖a − rot(b, s)‖² = Σa² + Σb² − 2·ccorr(a, b)[s]
+//! ```
+//!
+//! so all `n` rotation distances reduce to one circular cross-correlation.
+//! For power-of-two lengths the correlation is computed in `O(n log n)` via
+//! the correlation theorem (`CCORR = IFFT(conj(FFT(a)) ⊙ FFT(b))`); other
+//! lengths fall back to a direct `O(n²)` accumulation that still performs no
+//! heap allocation. Both paths write into caller-provided buffers so the
+//! steady-state recognition loop stays allocation-free.
+
+use std::f64::consts::PI;
+
+/// Smallest power-of-two length for which the FFT path beats the direct
+/// dot-product accumulation (below this the butterfly overhead dominates).
+pub const FFT_MIN_LEN: usize = 64;
+
+/// In-place iterative radix-2 Cooley–Tukey FFT over split real/imaginary
+/// buffers. `invert` selects the inverse transform (including the `1/n`
+/// scaling).
+///
+/// # Panics
+/// Panics when the buffers differ in length or the length is not a power of
+/// two.
+pub fn fft_radix2(re: &mut [f64], im: &mut [f64], invert: bool) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "re/im buffers must match");
+    assert!(
+        n.is_power_of_two(),
+        "radix-2 FFT needs a power-of-two length"
+    );
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+
+    let sign = if invert { 1.0 } else { -1.0 };
+    let mut len = 2usize;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let (w_re, w_im) = (ang.cos(), ang.sin());
+        let half = len / 2;
+        for start in (0..n).step_by(len) {
+            let mut c_re = 1.0f64;
+            let mut c_im = 0.0f64;
+            for k in start..start + half {
+                let (u_re, u_im) = (re[k], im[k]);
+                let (t_re, t_im) = (re[k + half], im[k + half]);
+                let v_re = t_re * c_re - t_im * c_im;
+                let v_im = t_re * c_im + t_im * c_re;
+                re[k] = u_re + v_re;
+                im[k] = u_im + v_im;
+                re[k + half] = u_re - v_re;
+                im[k + half] = u_im - v_im;
+                let n_re = c_re * w_re - c_im * w_im;
+                c_im = c_re * w_im + c_im * w_re;
+                c_re = n_re;
+            }
+        }
+        len <<= 1;
+    }
+
+    if invert {
+        let inv_n = 1.0 / n as f64;
+        for v in re.iter_mut() {
+            *v *= inv_n;
+        }
+        for v in im.iter_mut() {
+            *v *= inv_n;
+        }
+    }
+}
+
+/// Reusable complex work buffers for [`circular_cross_correlation_into`].
+#[derive(Debug, Default, Clone)]
+pub struct FftScratch {
+    a_re: Vec<f64>,
+    a_im: Vec<f64>,
+    b_re: Vec<f64>,
+    b_im: Vec<f64>,
+}
+
+impl FftScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn prepare(&mut self, a: &[f64], b: &[f64]) {
+        let n = a.len();
+        self.a_re.clear();
+        self.a_re.extend_from_slice(a);
+        self.b_re.clear();
+        self.b_re.extend_from_slice(b);
+        self.a_im.clear();
+        self.a_im.resize(n, 0.0);
+        self.b_im.clear();
+        self.b_im.resize(n, 0.0);
+    }
+}
+
+/// Writes `ccorr(a, b)[s] = Σ_i a[i]·b[(i+s) mod n]` for every shift `s` into
+/// `out`, choosing the FFT path for power-of-two lengths ≥ [`FFT_MIN_LEN`]
+/// and a direct allocation-free accumulation otherwise.
+///
+/// # Panics
+/// Panics when `a`, `b` and `out` differ in length.
+pub fn circular_cross_correlation_into(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    scratch: &mut FftScratch,
+) {
+    let n = a.len();
+    assert_eq!(n, b.len(), "series lengths must match");
+    assert_eq!(n, out.len(), "output length must match the series");
+    if n == 0 {
+        return;
+    }
+    if n.is_power_of_two() && n >= FFT_MIN_LEN {
+        scratch.prepare(a, b);
+        fft_radix2(&mut scratch.a_re, &mut scratch.a_im, false);
+        fft_radix2(&mut scratch.b_re, &mut scratch.b_im, false);
+        // conj(A) ⊙ B, written over the b buffers.
+        for k in 0..n {
+            let (ar, ai) = (scratch.a_re[k], scratch.a_im[k]);
+            let (br, bi) = (scratch.b_re[k], scratch.b_im[k]);
+            scratch.b_re[k] = ar * br + ai * bi;
+            scratch.b_im[k] = ar * bi - ai * br;
+        }
+        fft_radix2(&mut scratch.b_re, &mut scratch.b_im, true);
+        out.copy_from_slice(&scratch.b_re);
+    } else {
+        for (s, slot) in out.iter_mut().enumerate() {
+            // rot(b, s) = b[s..] ++ b[..s]; accumulate a·rot(b, s) in two runs
+            // so no index ever needs a modulo.
+            let k = n - s;
+            let mut acc = 0.0;
+            for i in 0..k {
+                acc += a[i] * b[s + i];
+            }
+            for i in k..n {
+                acc += a[i] * b[i - k];
+            }
+            *slot = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ccorr_naive(a: &[f64], b: &[f64]) -> Vec<f64> {
+        let n = a.len();
+        (0..n)
+            .map(|s| (0..n).map(|i| a[i] * b[(i + s) % n]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn fft_roundtrip_recovers_input() {
+        let src: Vec<f64> = (0..128)
+            .map(|i| (i as f64 * 0.37).sin() + 0.2 * i as f64)
+            .collect();
+        let mut re = src.clone();
+        let mut im = vec![0.0; src.len()];
+        fft_radix2(&mut re, &mut im, false);
+        fft_radix2(&mut re, &mut im, true);
+        for (x, y) in src.iter().zip(&re) {
+            assert!((x - y).abs() < 1e-10, "{x} vs {y}");
+        }
+        for y in &im {
+            assert!(y.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut re = vec![0.0; 8];
+        let mut im = vec![0.0; 8];
+        re[0] = 1.0;
+        fft_radix2(&mut re, &mut im, false);
+        for k in 0..8 {
+            assert!((re[k] - 1.0).abs() < 1e-12);
+            assert!(im[k].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn correlation_fft_path_matches_naive() {
+        let n = 128; // power of two ≥ FFT_MIN_LEN → FFT path
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).sin()).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.33).cos() * 2.0).collect();
+        let mut out = vec![0.0; n];
+        let mut scratch = FftScratch::new();
+        circular_cross_correlation_into(&a, &b, &mut out, &mut scratch);
+        let expect = ccorr_naive(&a, &b);
+        for (x, y) in out.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn correlation_direct_path_matches_naive() {
+        let n = 37; // not a power of two → direct path
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.5).cos()).collect();
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 18.0).collect();
+        let mut out = vec![0.0; n];
+        let mut scratch = FftScratch::new();
+        circular_cross_correlation_into(&a, &b, &mut out, &mut scratch);
+        let expect = ccorr_naive(&a, &b);
+        for (x, y) in out.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable() {
+        let a: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..64).map(|i| (i as f64).sqrt()).collect();
+        let mut scratch = FftScratch::new();
+        let mut first = vec![0.0; 64];
+        circular_cross_correlation_into(&a, &b, &mut first, &mut scratch);
+        let mut second = vec![0.0; 64];
+        circular_cross_correlation_into(&a, &b, &mut second, &mut scratch);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut re = vec![0.0; 6];
+        let mut im = vec![0.0; 6];
+        fft_radix2(&mut re, &mut im, false);
+    }
+}

@@ -71,16 +71,18 @@ impl TimeSeries {
 
     /// Minimum sample, or `None` when empty.
     pub fn min(&self) -> Option<f64> {
-        self.values.iter().copied().fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.min(v)))
-        })
+        self.values
+            .iter()
+            .copied()
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
     }
 
     /// Maximum sample, or `None` when empty.
     pub fn max(&self) -> Option<f64> {
-        self.values.iter().copied().fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.max(v)))
-        })
+        self.values
+            .iter()
+            .copied()
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
     /// Z-normalised copy: zero mean, unit variance.
@@ -116,7 +118,13 @@ impl From<Vec<f64>> for TimeSeries {
 
 impl fmt::Display for TimeSeries {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "TimeSeries(n={}, mean={:.3}, sd={:.3})", self.len(), self.mean(), self.std_dev())
+        write!(
+            f,
+            "TimeSeries(n={}, mean={:.3}, sd={:.3})",
+            self.len(),
+            self.mean(),
+            self.std_dev()
+        )
     }
 }
 

@@ -76,6 +76,87 @@ pub fn resample(values: &[f64], target_len: usize) -> Vec<f64> {
         .collect()
 }
 
+/// [`resample`] into a caller-provided buffer (`out.len()` is the target
+/// length); the allocation-free form used by the steady-state frame loop.
+///
+/// # Panics
+/// Panics if `out` is empty or `values` is empty (a fixed-length output
+/// cannot represent an empty resampling).
+pub fn resample_into(values: &[f64], out: &mut [f64]) {
+    assert!(!out.is_empty(), "cannot resample to zero samples");
+    let n = values.len();
+    assert!(
+        n > 0,
+        "cannot resample an empty series into a fixed-length buffer"
+    );
+    if n == 1 {
+        out.fill(values[0]);
+        return;
+    }
+    let target_len = out.len();
+    for (i, slot) in out.iter_mut().enumerate() {
+        let t = i as f64 * (n - 1) as f64 / (target_len - 1).max(1) as f64;
+        let lo = t.floor() as usize;
+        let hi = (lo + 1).min(n - 1);
+        let frac = t - lo as f64;
+        *slot = values[lo] * (1.0 - frac) + values[hi] * frac;
+    }
+}
+
+/// Z-normalises the slice in place (zero mean, unit population variance),
+/// with the same flat-series convention as `TimeSeries::znormalized`: a
+/// (near-)constant series becomes all zeros.
+pub fn znormalize_in_place(values: &mut [f64]) {
+    if values.is_empty() {
+        return;
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let sd = var.sqrt();
+    if sd < 1e-12 {
+        values.fill(0.0);
+        return;
+    }
+    for v in values.iter_mut() {
+        *v = (*v - mean) / sd;
+    }
+}
+
+/// [`paa`] into a caller-provided buffer (`out.len()` is the segment count);
+/// the allocation-free form used by the steady-state frame loop.
+///
+/// # Panics
+/// Panics if `out` is empty or longer than `values` (the reducing direction
+/// is the only one the hot path needs).
+pub fn paa_into(values: &[f64], out: &mut [f64]) {
+    assert!(!out.is_empty(), "PAA needs at least one segment");
+    let n = values.len();
+    let segments = out.len();
+    assert!(segments <= n, "paa_into requires segments <= input length");
+    if segments == n {
+        out.copy_from_slice(values);
+        return;
+    }
+    out.fill(0.0);
+    let ratio = segments as f64 / n as f64;
+    for (i, v) in values.iter().enumerate() {
+        let start = i as f64 * ratio;
+        let end = (i + 1) as f64 * ratio;
+        let first = start.floor() as usize;
+        let last = ((end - 1e-12).floor() as usize).min(segments - 1);
+        if first == last {
+            out[first] += v * (end - start);
+        } else {
+            for (seg, cell) in out.iter_mut().enumerate().take(last + 1).skip(first) {
+                let seg_start = (seg as f64).max(start);
+                let seg_end = ((seg + 1) as f64).min(end);
+                *cell += v * (seg_end - seg_start);
+            }
+        }
+    }
+}
+
 /// Returns the series circularly rotated left by `shift` positions.
 ///
 /// Rotating a closed contour's starting point corresponds to rotating the
@@ -176,6 +257,51 @@ mod tests {
     fn resample_single_sample() {
         assert_eq!(resample(&[7.0], 4), vec![7.0; 4]);
         assert_eq!(resample(&[], 4), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn resample_into_matches_resample() {
+        let v: Vec<f64> = (0..50).map(|i| (i as f64 * 0.4).sin()).collect();
+        for target in [1usize, 2, 7, 50, 128] {
+            let mut out = vec![0.0; target];
+            resample_into(&v, &mut out);
+            assert_eq!(out, resample(&v, target), "target {target}");
+        }
+        let mut single = vec![0.0; 4];
+        resample_into(&[7.0], &mut single);
+        assert_eq!(single, vec![7.0; 4]);
+    }
+
+    #[test]
+    fn znormalize_in_place_matches_timeseries() {
+        use crate::TimeSeries;
+        let v = vec![10.0, 20.0, 30.0, 45.0, 5.0];
+        let mut z = v.clone();
+        znormalize_in_place(&mut z);
+        assert_eq!(z, TimeSeries::new(v).znormalized().into_values());
+        let mut flat = vec![3.0; 6];
+        znormalize_in_place(&mut flat);
+        assert_eq!(flat, vec![0.0; 6]);
+        let mut empty: Vec<f64> = vec![];
+        znormalize_in_place(&mut empty);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn paa_into_matches_paa() {
+        let v: Vec<f64> = (0..100).map(|i| (i as f64 * 0.3).sin()).collect();
+        for segments in [1usize, 3, 8, 100] {
+            let mut out = vec![0.0; segments];
+            paa_into(&v, &mut out);
+            assert_eq!(out, paa(&v, segments), "segments {segments}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "segments <= input length")]
+    fn paa_into_rejects_expansion() {
+        let mut out = vec![0.0; 4];
+        paa_into(&[1.0, 2.0], &mut out);
     }
 
     #[test]

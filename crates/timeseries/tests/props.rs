@@ -1,8 +1,9 @@
 //! Property-based tests for the time-series substrate.
 
 use hdc_timeseries::{
-    dtw, dtw_banded, euclidean, min_rotated_euclidean, paa, resample, rotate_left,
-    smooth_moving_average, TimeSeries,
+    circular_cross_correlation_into, dtw, dtw_banded, euclidean, min_rotated_euclidean,
+    min_rotated_euclidean_naive, paa, resample, rotate_left, smooth_moving_average, FftScratch,
+    TimeSeries,
 };
 use proptest::prelude::*;
 
@@ -117,6 +118,51 @@ proptest! {
         let plain = euclidean(&a, &b).unwrap();
         let (rot, _) = min_rotated_euclidean(&a, &b, 1).unwrap();
         prop_assert!(rot <= plain + 1e-9);
+    }
+
+    #[test]
+    fn fast_rotation_equals_naive_oracle(ab in series(2..48).prop_flat_map(|a| {
+        let n = a.len();
+        (Just(a), series(n..n + 1))
+    }), stride in 1usize..5) {
+        // Raw (non-z-normalised) inputs on purpose: the fast path must match
+        // the all-shifts oracle bitwise for arbitrary magnitudes, not just
+        // for the canonical signatures the pipeline feeds it.
+        let (a, b) = ab;
+        let fast = min_rotated_euclidean(&a, &b, stride).unwrap();
+        let naive = min_rotated_euclidean_naive(&a, &b, stride).unwrap();
+        prop_assert_eq!(fast, naive, "fast and naive disagree");
+    }
+
+    #[test]
+    fn fast_rotation_equals_naive_oracle_pow2(ab in series(64..65).prop_flat_map(|a| {
+        let n = a.len();
+        (Just(a), series(n..n + 1))
+    })) {
+        // Length 64 crosses the FFT threshold: exercises the transform path.
+        let (a, b) = ab;
+        let fast = min_rotated_euclidean(&a, &b, 1).unwrap();
+        let naive = min_rotated_euclidean_naive(&a, &b, 1).unwrap();
+        prop_assert_eq!(fast, naive, "FFT path and naive disagree");
+    }
+
+    #[test]
+    fn cross_correlation_matches_shift_loop(ab in series(2..80).prop_flat_map(|a| {
+        let n = a.len();
+        (Just(a), series(n..n + 1))
+    })) {
+        let (a, b) = ab;
+        let n = a.len();
+        let mut out = vec![0.0; n];
+        let mut scratch = FftScratch::new();
+        circular_cross_correlation_into(&a, &b, &mut out, &mut scratch);
+        for s in 0..n {
+            let direct: f64 = (0..n).map(|i| a[i] * b[(i + s) % n]).sum();
+            prop_assert!(
+                (out[s] - direct).abs() <= 1e-9 * (1.0 + direct.abs()),
+                "shift {}: {} vs {}", s, out[s], direct
+            );
+        }
     }
 
     #[test]

@@ -87,7 +87,10 @@ impl SignClassifier for SaxClassifier {
     fn classify(&self, mask: &Bitmap) -> Option<Classification> {
         let sig = extract_signature(mask, self.signature_len).ok()?;
         let m = self.index.best_match(&sig.series)?;
-        Some(Classification { label: m.label, score: m.distance })
+        Some(Classification {
+            label: m.label,
+            score: m.distance,
+        })
     }
 }
 
@@ -142,7 +145,10 @@ impl SignClassifier for DtwClassifier {
                 let rotated = rotate_left(&sig.series, shift);
                 let d = dtw_banded(&rotated, tpl, self.band).expect("non-empty signatures");
                 if best.as_ref().is_none_or(|b| d < b.score) {
-                    best = Some(Classification { label: label.clone(), score: d });
+                    best = Some(Classification {
+                        label: label.clone(),
+                        score: d,
+                    });
                 }
                 shift += self.rotation_stride;
             }
@@ -186,8 +192,16 @@ impl SignClassifier for HuClassifier {
         self.templates
             .iter()
             .map(|(label, tpl)| {
-                let d: f64 = h.iter().zip(tpl).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
-                Classification { label: label.clone(), score: d }
+                let d: f64 = h
+                    .iter()
+                    .zip(tpl)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                Classification {
+                    label: label.clone(),
+                    score: d,
+                }
             })
             .min_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
     }
@@ -212,7 +226,10 @@ impl ZoningClassifier {
     /// Panics if `grid` is zero.
     pub fn new(grid: u32) -> Self {
         assert!(grid > 0, "grid must be positive");
-        ZoningClassifier { grid, templates: Vec::new() }
+        ZoningClassifier {
+            grid,
+            templates: Vec::new(),
+        }
     }
 
     fn features(&self, mask: &Bitmap) -> Option<Vec<f64>> {
@@ -280,7 +297,10 @@ impl SignClassifier for ZoningClassifier {
                     .map(|(a, b)| (a - b) * (a - b))
                     .sum::<f64>()
                     .sqrt();
-                Classification { label: label.clone(), score: d }
+                Classification {
+                    label: label.clone(),
+                    score: d,
+                }
             })
             .min_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
     }

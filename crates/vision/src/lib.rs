@@ -45,6 +45,12 @@ mod timing;
 pub use filter::DecisionFilter;
 
 pub use moments::{central_moments, hu_moments, RawMoments};
-pub use pipeline::{PipelineConfig, RecognitionPipeline, RecognitionResult, SegmentationMode};
-pub use signature::{extract_signature, ShapeSignature, SignatureError, MIN_CONTOUR_POINTS};
+pub use pipeline::{
+    FrameFailure, FrameResult, FrameScratch, PipelineConfig, RecognitionPipeline,
+    RecognitionResult, SegmentationMode,
+};
+pub use signature::{
+    extract_signature, signature_from_contour, trace_contour_with, ShapeSignature, SignatureError,
+    SignatureScratch, SignatureStats, MIN_CONTOUR_POINTS,
+};
 pub use timing::{FrameBudget, StageTimings};

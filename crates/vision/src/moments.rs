@@ -81,9 +81,7 @@ pub fn hu_moments(mask: &Bitmap) -> Option<[f64; 7]> {
     let h2 = (n20 - n02).powi(2) + 4.0 * n11 * n11;
     let h3 = (n30 - 3.0 * n12).powi(2) + (3.0 * n21 - n03).powi(2);
     let h4 = (n30 + n12).powi(2) + (n21 + n03).powi(2);
-    let h5 = (n30 - 3.0 * n12)
-        * (n30 + n12)
-        * ((n30 + n12).powi(2) - 3.0 * (n21 + n03).powi(2))
+    let h5 = (n30 - 3.0 * n12) * (n30 + n12) * ((n30 + n12).powi(2) - 3.0 * (n21 + n03).powi(2))
         + (3.0 * n21 - n03) * (n21 + n03) * (3.0 * (n30 + n12).powi(2) - (n21 + n03).powi(2));
     let h6 = (n20 - n02) * ((n30 + n12).powi(2) - (n21 + n03).powi(2))
         + 4.0 * n11 * (n30 + n12) * (n21 + n03);

@@ -7,14 +7,14 @@
 //! reduces to circular-shift minimisation downstream.
 
 use hdc_geometry::Vec2;
-use hdc_raster::contour::{contour_centroid, trace_outer_contour};
-use hdc_raster::Bitmap;
-use hdc_timeseries::{resample, TimeSeries};
+use hdc_raster::contour::{contour_centroid, trace_outer_contour_into};
+use hdc_raster::{Bitmap, ContourPoint};
+use hdc_timeseries::{resample_into, znormalize_in_place};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors from signature extraction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SignatureError {
     /// The mask had no foreground pixels.
     EmptyMask,
@@ -31,7 +31,10 @@ impl fmt::Display for SignatureError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SignatureError::EmptyMask => write!(f, "mask has no foreground"),
-            SignatureError::BlobTooSmall { contour_points, required } => write!(
+            SignatureError::BlobTooSmall {
+                contour_points,
+                required,
+            } => write!(
                 f,
                 "contour has {contour_points} points, need at least {required}"
             ),
@@ -82,30 +85,109 @@ pub const MIN_CONTOUR_POINTS: usize = 8;
 /// let sig = extract_signature(&threshold::binarize(&img, 128), 128).unwrap();
 /// assert_eq!(sig.series.len(), 128);
 /// ```
-pub fn extract_signature(mask: &Bitmap, sample_count: usize) -> Result<ShapeSignature, SignatureError> {
+pub fn extract_signature(
+    mask: &Bitmap,
+    sample_count: usize,
+) -> Result<ShapeSignature, SignatureError> {
     assert!(sample_count > 0, "sample count must be positive");
-    let contour = trace_outer_contour(mask).ok_or(SignatureError::EmptyMask)?;
-    if contour.len() < MIN_CONTOUR_POINTS {
+    let mut scratch = SignatureScratch::new();
+    trace_contour_with(mask, &mut scratch)?;
+    let stats = signature_from_contour(&mut scratch, sample_count);
+    Ok(ShapeSignature {
+        series: scratch.series,
+        contour_len: stats.contour_len,
+        centroid: stats.centroid,
+        mean_radius: stats.mean_radius,
+    })
+}
+
+/// Reusable buffers for signature extraction: the traced contour, the raw
+/// centroid-distance series and the resampled + z-normalised signature.
+#[derive(Debug, Clone, Default)]
+pub struct SignatureScratch {
+    contour: Vec<ContourPoint>,
+    raw: Vec<f64>,
+    series: Vec<f64>,
+}
+
+impl SignatureScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The signature series produced by the most recent
+    /// [`signature_from_contour`] call.
+    pub fn series(&self) -> &[f64] {
+        &self.series
+    }
+}
+
+/// The scalar metadata of a signature — everything in [`ShapeSignature`]
+/// except the series itself (which lives in the [`SignatureScratch`] on the
+/// allocation-free path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignatureStats {
+    /// Number of raw contour pixels before resampling.
+    pub contour_len: usize,
+    /// Contour centroid in pixel coordinates.
+    pub centroid: Vec2,
+    /// Mean raw centroid distance in pixels.
+    pub mean_radius: f64,
+}
+
+/// Stage 1 of [`extract_signature`]: traces the blob's outer contour into the
+/// scratch buffer and validates it is large enough to carry a signature.
+///
+/// Split from [`signature_from_contour`] so the pipeline can time contour
+/// tracing and signature computation separately.
+///
+/// # Errors
+/// Same conditions as [`extract_signature`].
+pub fn trace_contour_with(
+    mask: &Bitmap,
+    scratch: &mut SignatureScratch,
+) -> Result<(), SignatureError> {
+    if !trace_outer_contour_into(mask, &mut scratch.contour) {
+        return Err(SignatureError::EmptyMask);
+    }
+    if scratch.contour.len() < MIN_CONTOUR_POINTS {
         return Err(SignatureError::BlobTooSmall {
-            contour_points: contour.len(),
+            contour_points: scratch.contour.len(),
             required: MIN_CONTOUR_POINTS,
         });
     }
-    let centroid = contour_centroid(&contour).expect("non-empty contour");
-    let raw: Vec<f64> = contour
-        .iter()
-        .map(|p| p.to_vec2().distance(centroid))
-        .collect();
-    let mean_radius = raw.iter().sum::<f64>() / raw.len() as f64;
-    let series = TimeSeries::new(resample(&raw, sample_count))
-        .znormalized()
-        .into_values();
-    Ok(ShapeSignature {
-        series,
-        contour_len: contour.len(),
+    Ok(())
+}
+
+/// Stage 2 of [`extract_signature`]: unrolls the contour traced by
+/// [`trace_contour_with`] into the z-normalised centroid-distance series
+/// (left in [`SignatureScratch::series`]) and returns its metadata.
+///
+/// # Panics
+/// Panics if `sample_count` is zero or no contour has been traced.
+pub fn signature_from_contour(
+    scratch: &mut SignatureScratch,
+    sample_count: usize,
+) -> SignatureStats {
+    assert!(sample_count > 0, "sample count must be positive");
+    let centroid = contour_centroid(&scratch.contour).expect("non-empty contour");
+    scratch.raw.clear();
+    scratch.raw.extend(
+        scratch
+            .contour
+            .iter()
+            .map(|p| p.to_vec2().distance(centroid)),
+    );
+    let mean_radius = scratch.raw.iter().sum::<f64>() / scratch.raw.len() as f64;
+    scratch.series.resize(sample_count, 0.0);
+    resample_into(&scratch.raw, &mut scratch.series);
+    znormalize_in_place(&mut scratch.series);
+    SignatureStats {
+        contour_len: scratch.contour.len(),
         centroid,
         mean_radius,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -113,11 +195,17 @@ mod tests {
     use super::*;
     use hdc_raster::threshold::binarize;
     use hdc_raster::{draw, GrayImage};
+    use hdc_timeseries::TimeSeries;
 
     fn disk_mask(r: f64) -> Bitmap {
         let size = (2.0 * r + 10.0) as u32;
         let mut img = GrayImage::new(size, size);
-        draw::fill_disk(&mut img, Vec2::new(size as f64 / 2.0, size as f64 / 2.0), r, 255);
+        draw::fill_disk(
+            &mut img,
+            Vec2::new(size as f64 / 2.0, size as f64 / 2.0),
+            r,
+            255,
+        );
         binarize(&img, 128)
     }
 
@@ -200,6 +288,29 @@ mod tests {
         let small = extract_signature(&disk_mask(10.0), 64).unwrap();
         let large = extract_signature(&disk_mask(30.0), 64).unwrap();
         assert!(large.contour_len > 2 * small.contour_len);
+    }
+
+    #[test]
+    fn staged_extraction_matches_reference_formula() {
+        // The scratch path must reproduce the original allocating formula
+        // (resample → TimeSeries::znormalized) bit for bit, across reuses.
+        let mut scratch = SignatureScratch::new();
+        for mask in [disk_mask(15.0), bar_mask(60.0, 10.0), disk_mask(8.0)] {
+            trace_contour_with(&mask, &mut scratch).unwrap();
+            let stats = signature_from_contour(&mut scratch, 64);
+            let contour = hdc_raster::trace_outer_contour(&mask).unwrap();
+            let centroid = contour_centroid(&contour).unwrap();
+            let raw: Vec<f64> = contour
+                .iter()
+                .map(|p| p.to_vec2().distance(centroid))
+                .collect();
+            let reference = TimeSeries::new(hdc_timeseries::resample(&raw, 64))
+                .znormalized()
+                .into_values();
+            assert_eq!(scratch.series(), &reference[..]);
+            assert_eq!(stats.contour_len, contour.len());
+            assert_eq!(stats.centroid, centroid);
+        }
     }
 
     #[test]

@@ -11,7 +11,10 @@ fn main() {
     pipeline.calibrate_from_views(&ViewSpec::paper_default(0.0, 5.0, 3.0));
 
     println!("sign: No | altitude 5 m | distance 3 m | canonical reference at 0°\n");
-    println!("{:>8} {:>10} {:>10} {:>14} {:>10}", "azimuth", "distance", "lower bd", "decision", "SAX word");
+    println!(
+        "{:>8} {:>10} {:>10} {:>14} {:>10}",
+        "azimuth", "distance", "lower bd", "decision", "SAX word"
+    );
 
     let mut last_reliable = 0.0f64;
     for az in (0..=90).step_by(5) {

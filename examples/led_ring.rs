@@ -4,16 +4,17 @@
 //!
 //! Run with: `cargo run --release --example led_ring`
 
-use hdc::drone::{
-    LedMode, LedRing, VerticalAnimation, VerticalArray,
-};
+use hdc::drone::{LedMode, LedRing, VerticalAnimation, VerticalArray};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn main() {
     println!("=== navigation ring (drone heading east) ===");
     let ring = LedRing::new(LedMode::Navigation);
-    println!("body-frame snapshot (from nose, clockwise): {}", ring.snapshot());
+    println!(
+        "body-frame snapshot (from nose, clockwise): {}",
+        ring.snapshot()
+    );
     println!("\nobserver bearing → colour seen:");
     for bearing_deg in (0..360).step_by(45) {
         let bearing = (bearing_deg as f64).to_radians();
@@ -24,7 +25,10 @@ fn main() {
     println!("\n=== danger mode (safety function triggered) ===");
     let danger = LedRing::new(LedMode::Danger);
     println!("snapshot: {}", danger.snapshot());
-    println!("default mode is danger (fail-safe): {:?}", LedRing::default().mode());
+    println!(
+        "default mode is danger (fail-safe): {:?}",
+        LedRing::default().mode()
+    );
 
     println!("\n=== the discarded vertical array ===");
     let up = VerticalArray::new(VerticalAnimation::TakeOff);
@@ -46,6 +50,10 @@ fn main() {
                 up.observe_direction(3, 0.45, flip, &mut rng) == Some(VerticalAnimation::TakeOff)
             })
             .count();
-        println!("{:>12.1} {:>11.0}%", flip, 100.0 * correct as f64 / trials as f64);
+        println!(
+            "{:>12.1} {:>11.0}%",
+            flip,
+            100.0 * correct as f64 / trials as f64
+        );
     }
 }

@@ -9,26 +9,35 @@ use hdc::orchard::{Mission, MissionConfig, OrchardMap};
 fn main() {
     println!("=== empty orchard (baseline) ===");
     let map = OrchardMap::grid(4, 6, 4.0, 3.0);
-    let mut config = MissionConfig::default();
-    config.human_count = 0;
+    let config = MissionConfig {
+        human_count: 0,
+        ..Default::default()
+    };
     let stats = Mission::new(config, map, 1).run();
     println!("{stats}\n");
 
     println!("=== busy orchard: 5 people about ===");
     let map = OrchardMap::grid(4, 6, 4.0, 3.0);
-    let mut config = MissionConfig::default();
-    config.human_count = 5;
-    config.blocking_radius_m = 4.0;
+    let config = MissionConfig {
+        human_count: 5,
+        blocking_radius_m: 4.0,
+        ..Default::default()
+    };
     let stats = Mission::new(config, map, 2).run();
     println!("{stats}\n");
 
     println!("=== crowded orchard sweep: negotiation load vs people ===");
-    println!("{:>8} {:>12} {:>12} {:>12} {:>12}", "people", "traps read", "skipped", "negotiations", "grant rate");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "people", "traps read", "skipped", "negotiations", "grant rate"
+    );
     for people in [0u32, 2, 4, 8, 12] {
         let map = OrchardMap::grid(4, 6, 4.0, 3.0);
-        let mut config = MissionConfig::default();
-        config.human_count = people;
-        config.blocking_radius_m = 4.0;
+        let config = MissionConfig {
+            human_count: people,
+            blocking_radius_m: 4.0,
+            ..Default::default()
+        };
         let stats = Mission::new(config, map, 100 + people as u64).run();
         println!(
             "{:>8} {:>12} {:>12} {:>12} {:>11.0}%",

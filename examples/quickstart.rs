@@ -40,12 +40,12 @@ fn main() {
     let frame = render_sign(MarshallingSign::No, &canonical);
     let mask = binarize(&frame, 128);
     let (blob, comp) = largest_component(&mask, Connectivity::Eight).expect("figure visible");
-    println!("\n'No' silhouette ({} px, bbox {:?}):", comp.area, comp.bbox);
-    // crop + downsample by 4 for the terminal
-    let mut small = hdc::raster::Bitmap::new(
-        (comp.width() / 4).max(1),
-        (comp.height() / 4).max(1),
+    println!(
+        "\n'No' silhouette ({} px, bbox {:?}):",
+        comp.area, comp.bbox
     );
+    // crop + downsample by 4 for the terminal
+    let mut small = hdc::raster::Bitmap::new((comp.width() / 4).max(1), (comp.height() / 4).max(1));
     for y in 0..small.height() {
         for x in 0..small.width() {
             let sx = comp.bbox.0 + x * 4;

@@ -25,7 +25,10 @@ fn all_signs_recognised_through_the_facade() {
 #[test]
 fn recognition_is_deterministic() {
     let p = calibrated();
-    let frame = render_sign(MarshallingSign::Yes, &ViewSpec::paper_default(10.0, 4.0, 3.0));
+    let frame = render_sign(
+        MarshallingSign::Yes,
+        &ViewSpec::paper_default(10.0, 4.0, 3.0),
+    );
     let a = p.recognize(&frame);
     let b = p.recognize(&frame);
     assert_eq!(a.decision, b.decision);
@@ -55,7 +58,10 @@ fn image_plane_rotation_is_free_for_the_signature() {
     // rotate the camera frame by 90° (drone banking): the contour signature
     // is rotation invariant via circular-shift matching, so the decision holds
     let p = calibrated();
-    let frame = render_sign(MarshallingSign::Yes, &ViewSpec::paper_default(0.0, 5.0, 3.0));
+    let frame = render_sign(
+        MarshallingSign::Yes,
+        &ViewSpec::paper_default(0.0, 5.0, 3.0),
+    );
     // rotate the image 90°
     let mut rotated = hdc::raster::GrayImage::new(frame.height(), frame.width());
     for (x, y, v) in frame.iter() {
@@ -89,8 +95,10 @@ fn distractor_poses_do_not_false_accept_as_yes() {
 fn otsu_and_fixed_threshold_agree_on_clean_frames() {
     let mut fixed = RecognitionPipeline::new(PipelineConfig::default());
     fixed.calibrate_from_views(&ViewSpec::paper_default(0.0, 5.0, 3.0));
-    let mut cfg = PipelineConfig::default();
-    cfg.segmentation = SegmentationMode::Otsu;
+    let cfg = PipelineConfig {
+        segmentation: SegmentationMode::Otsu,
+        ..Default::default()
+    };
     let mut otsu = RecognitionPipeline::new(cfg);
     otsu.calibrate_from_views(&ViewSpec::paper_default(0.0, 5.0, 3.0));
     for sign in MarshallingSign::ALL {
@@ -117,7 +125,11 @@ fn pipeline_handles_pathological_frames() {
     let mut noisy = hdc::raster::GrayImage::new(640, 480);
     noise::add_salt_pepper(&mut noisy, 0.5, &mut rng);
     let r = p.recognize(&noisy);
-    assert!(r.decision.is_none(), "pure noise must be rejected: {:?}", r.decision);
+    assert!(
+        r.decision.is_none(),
+        "pure noise must be rejected: {:?}",
+        r.decision
+    );
 }
 
 #[test]
@@ -138,5 +150,9 @@ fn two_people_in_frame_dominant_one_wins() {
     paint_signaller(&far, &cam, &mut frame);
     paint_signaller(&near, &cam, &mut frame);
     let r = p.recognize(&frame);
-    assert_eq!(r.decision.as_deref(), Some("Yes"), "largest blob is the negotiating partner");
+    assert_eq!(
+        r.decision.as_deref(),
+        Some("Yes"),
+        "largest blob is the negotiating partner"
+    );
 }

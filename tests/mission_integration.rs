@@ -40,15 +40,21 @@ fn statistical_backend_matches_full_loop_for_supervisors() {
             grants += 1;
         }
     }
-    assert!(grants as f64 / n as f64 > 0.9, "statistical grant rate {grants}/{n}");
+    assert!(
+        grants as f64 / n as f64 > 0.9,
+        "statistical grant rate {grants}/{n}"
+    );
 }
 
 #[test]
 fn mission_with_full_loop_backend_completes() {
     // a tiny orchard with one stationary worker standing on a trap
     let map = OrchardMap::grid(1, 2, 4.0, 6.0);
-    let mut cfg = MissionConfig::default();
-    cfg.human_count = 0; // we inject our own blocker through the backend
+    // we inject our own blocker through the backend
+    let cfg = MissionConfig {
+        human_count: 0,
+        ..Default::default()
+    };
     let mut mission = Mission::with_backend(cfg, map, 5, Box::new(FullLoopNegotiation));
     let stats = mission.run();
     assert_eq!(stats.traps_read, 2);
@@ -58,9 +64,11 @@ fn mission_with_full_loop_backend_completes() {
 fn crowding_monotonically_increases_negotiation_load() {
     let run = |people: u32| {
         let map = OrchardMap::grid(3, 4, 4.0, 3.0);
-        let mut cfg = MissionConfig::default();
-        cfg.human_count = people;
-        cfg.blocking_radius_m = 4.0;
+        let cfg = MissionConfig {
+            human_count: people,
+            blocking_radius_m: 4.0,
+            ..Default::default()
+        };
         Mission::new(cfg, map, 17).run()
     };
     let quiet = run(0);
@@ -74,8 +82,10 @@ fn crowding_monotonically_increases_negotiation_load() {
 fn every_trap_is_accounted_for() {
     for people in [0u32, 3, 7] {
         let map = OrchardMap::grid(3, 3, 4.0, 3.0);
-        let mut cfg = MissionConfig::default();
-        cfg.human_count = people;
+        let cfg = MissionConfig {
+            human_count: people,
+            ..Default::default()
+        };
         let stats = Mission::new(cfg, map, 23).run();
         assert_eq!(
             stats.traps_read + stats.traps_skipped,

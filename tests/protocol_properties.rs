@@ -35,7 +35,10 @@ fn replay(seq: &[Stimulus]) -> (NegotiationMachine, Vec<(f64, ProtocolAction, bo
     let mut now = 0.0;
     let mut actions = Vec::new();
     let mut yes_seen = false;
-    let record = |now: f64, acts: Vec<ProtocolAction>, yes_seen: bool, out: &mut Vec<(f64, ProtocolAction, bool)>| {
+    let record = |now: f64,
+                  acts: Vec<ProtocolAction>,
+                  yes_seen: bool,
+                  out: &mut Vec<(f64, ProtocolAction, bool)>| {
         for a in acts {
             out.push((now, a, yes_seen));
         }

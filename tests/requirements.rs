@@ -36,7 +36,9 @@ fn r1_direction_readable_from_lights() {
 fn r2_danger_is_default_and_forced_on_trigger() {
     assert_eq!(LedRing::default().mode(), LedMode::Danger);
     let mut drone = Drone::new(DroneConfig::default());
-    drone.execute_pattern(FlightPattern::TakeOff { target_altitude: 4.0 });
+    drone.execute_pattern(FlightPattern::TakeOff {
+        target_altitude: 4.0,
+    });
     while drone.is_executing() {
         drone.tick(0.05);
     }
@@ -71,7 +73,9 @@ fn r4_entry_requires_yes() {
 #[test]
 fn r5_lights_out_only_after_rotors_stop() {
     let mut drone = Drone::new(DroneConfig::default());
-    drone.execute_pattern(FlightPattern::TakeOff { target_altitude: 3.0 });
+    drone.execute_pattern(FlightPattern::TakeOff {
+        target_altitude: 3.0,
+    });
     while drone.is_executing() {
         drone.tick(0.05);
     }
@@ -81,8 +85,14 @@ fn r5_lights_out_only_after_rotors_stop() {
         drone.tick(0.05);
     }
     let events = drone.drain_events();
-    let rotors = events.iter().position(|e| *e == DroneEvent::RotorsStopped).unwrap();
-    let lights = events.iter().position(|e| *e == DroneEvent::LightsOut).unwrap();
+    let rotors = events
+        .iter()
+        .position(|e| *e == DroneEvent::RotorsStopped)
+        .unwrap();
+    let lights = events
+        .iter()
+        .position(|e| *e == DroneEvent::LightsOut)
+        .unwrap();
     assert!(rotors < lights);
 }
 
@@ -123,7 +133,9 @@ fn r8_realtime_budget_met() {
     // median of a few runs to dodge scheduler noise; debug builds are slower,
     // so measure against the 30 fps budget with generous headroom in release
     // and a 3 fps sanity floor in debug
-    let mut totals: Vec<u64> = (0..9).map(|_| p.recognize(&frame).timings.total_us()).collect();
+    let mut totals: Vec<u64> = (0..9)
+        .map(|_| p.recognize(&frame).timings.total_us())
+        .collect();
     totals.sort_unstable();
     let median = totals[4];
     let budget = if cfg!(debug_assertions) {
@@ -155,7 +167,9 @@ fn r10_vertical_array_unreliable_under_noise() {
     let arr = VerticalArray::new(VerticalAnimation::Landing);
     let trials = 200;
     let correct = (0..trials)
-        .filter(|_| arr.observe_direction(3, 0.45, 0.3, &mut rng) == Some(VerticalAnimation::Landing))
+        .filter(|_| {
+            arr.observe_direction(3, 0.45, 0.3, &mut rng) == Some(VerticalAnimation::Landing)
+        })
         .count();
     assert!(
         (correct as f64) < 0.7 * trials as f64,

@@ -1,0 +1,251 @@
+//! Offline mini-implementation of the `proptest` API surface this workspace
+//! uses.
+//!
+//! The build environment cannot reach a cargo registry, so the real crate is
+//! unavailable. This stand-in keeps the same source-level API — `proptest!`,
+//! `prop_assert*`, `prop_assume!`, `prop_oneof!`, `Strategy` combinators,
+//! `prop::collection::vec`, `prop::num::f64::NORMAL`, `any::<T>()` and
+//! `ProptestConfig` — but generates cases without shrinking: a failing case
+//! reports its seed and message instead of a minimised input. Deterministic
+//! per test name, so failures reproduce run-to-run.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections (only `vec` is needed here).
+
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy for `Vec`s with elements from `element` and a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric strategies.
+
+    pub mod f64 {
+        //! `f64`-specific strategies.
+
+        use crate::strategy::Strategy;
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+
+        /// Strategy over all *normal* `f64` values (no NaN, infinity, zero or
+        /// subnormals), any sign and magnitude.
+        #[derive(Clone, Copy, Debug)]
+        pub struct NormalF64;
+
+        /// All normal `f64` values.
+        pub const NORMAL: NormalF64 = NormalF64;
+
+        impl Strategy for NormalF64 {
+            type Value = f64;
+
+            fn generate(&self, rng: &mut SmallRng) -> f64 {
+                loop {
+                    let v = f64::from_bits(rng.gen::<u64>());
+                    if v.is_normal() {
+                        return v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The `Arbitrary` trait: types with a canonical "any value" strategy.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy, used by [`any`].
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary_value(rng: &mut SmallRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut SmallRng) -> Self {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut SmallRng) -> Self {
+            rng.gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut SmallRng) -> Self {
+            f64::from_bits(rng.gen::<u64>())
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for "any value of `T`".
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    pub mod prop {
+        //! The `prop::` module tree (`prop::collection`, `prop::num`, …).
+
+        pub use crate::collection;
+        pub use crate::num;
+    }
+}
+
+/// Declares property tests: `proptest! { #[test] fn name(x in strat, ..) { body } }`.
+///
+/// An optional `#![proptest_config(expr)]` header sets the case count.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $(#[test] fn $name:ident ($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config = $cfg;
+                // Strategies are rebuilt per case: flat-mapped strategies may
+                // capture per-case state, and rebuilding matches real
+                // proptest's value-tree semantics closely enough.
+                $crate::test_runner::run_cases(&config, stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (not
+/// panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}` ({:?} vs {:?})",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    }};
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}` (both {:?})",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// Rejects the current case (drawn input does not satisfy a precondition).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Weighted or unweighted choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::union_arm($weight as u32, $strat)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::union_arm(1u32, $strat)),+
+        ])
+    };
+}

@@ -1,0 +1,139 @@
+//! Case execution: configuration, errors and the runner loop.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed — the property is violated.
+    Fail(String),
+    /// The input did not meet a precondition (`prop_assume!`); draw another.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (re-drawn) case with a reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+fn seed_for(name: &str) -> u64 {
+    // FNV-1a over the test name: deterministic across runs and platforms so
+    // failures reproduce, distinct per property so cases differ.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `case` until `config.cases` successes; panics on the first failure.
+///
+/// Rejections (`prop_assume!`) are retried, with a global cap so a
+/// never-satisfiable assumption cannot loop forever.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut SmallRng) -> Result<(), TestCaseError>,
+{
+    let seed = seed_for(name);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut passed = 0u32;
+    let mut rejected = 0u64;
+    let max_rejects = u64::from(config.cases) * 16 + 1024;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "property '{name}': {rejected} rejections before {} successes \
+                         (assumption too strict?)",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property '{name}' failed after {passed} passing case(s) \
+                     [seed 0x{seed:016x}]: {msg}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut n = 0;
+        run_cases(&ProptestConfig::with_cases(17), "t", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failure_panics() {
+        run_cases(&ProptestConfig::default(), "t", |_| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rejections")]
+    fn endless_rejection_panics() {
+        run_cases(&ProptestConfig::with_cases(4), "t", |_| {
+            Err(TestCaseError::reject("never"))
+        });
+    }
+
+    #[test]
+    fn rejection_then_success_completes() {
+        let mut flip = false;
+        let mut passed = 0;
+        run_cases(&ProptestConfig::with_cases(8), "t", |_| {
+            flip = !flip;
+            if flip {
+                Err(TestCaseError::reject("every other"))
+            } else {
+                passed += 1;
+                Ok(())
+            }
+        });
+        assert_eq!(passed, 8);
+    }
+}

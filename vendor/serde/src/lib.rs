@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the type namespace
+//! (empty marker traits) and the macro namespace (no-op derives), which is
+//! all this workspace uses — types are annotated for future wire formats but
+//! nothing serializes yet. The JSON artefacts the benchmark harness writes
+//! are emitted by hand instead.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

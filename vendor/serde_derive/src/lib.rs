@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace derives serde traits on many public types but never calls a
+//! serializer (there is no `serde_json` dependency and no generic bound
+//! requiring the traits). In the offline build the derives therefore expand
+//! to nothing: the attribute positions stay valid and compilation proceeds
+//! without the real `serde_derive`.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts any input the real derive would.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts any input the real derive would.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
