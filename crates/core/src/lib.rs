@@ -39,4 +39,7 @@ pub use protocol::{
 pub use requirements::{requirement, Requirement, RequirementId, REQUIREMENTS};
 pub use roles::{Role, RoleProfile, TrainingLevel};
 pub use safety::{SafetyMonitor, SafetyViolation};
-pub use session::{CollaborationSession, SessionConfig, SessionReport};
+pub use session::{
+    CollaborationSession, FrameFate, HumanScript, ScriptedResponse, SessionConfig, SessionFaults,
+    SessionReport,
+};

@@ -22,6 +22,10 @@ pub struct NegotiationConfig {
     pub max_poke_attempts: u32,
     /// How many rectangle requests before giving up.
     pub max_request_attempts: u32,
+    /// Seconds allowed for the transit to the contact point before the
+    /// negotiation is abandoned (wind or a degraded platform can make the
+    /// approach unachievable; the protocol must stay time-bounded anyway).
+    pub approach_timeout_s: f64,
 }
 
 impl Default for NegotiationConfig {
@@ -31,6 +35,7 @@ impl Default for NegotiationConfig {
             answer_timeout_s: 10.0,
             max_poke_attempts: 3,
             max_request_attempts: 2,
+            approach_timeout_s: 60.0,
         }
     }
 }
@@ -225,11 +230,12 @@ impl NegotiationMachine {
     /// Begins the negotiation.
     ///
     /// Returns the initial actions. Does nothing if already started.
-    pub fn start(&mut self, _now: f64) -> Vec<ProtocolAction> {
+    pub fn start(&mut self, now: f64) -> Vec<ProtocolAction> {
         if self.state != NegotiationState::Idle {
             return Vec::new();
         }
         self.enter_state(NegotiationState::Approaching);
+        self.deadline = Some(now + self.config.approach_timeout_s);
         vec![ProtocolAction::FlyToContact]
     }
 
@@ -238,6 +244,7 @@ impl NegotiationMachine {
         if self.state != NegotiationState::Approaching {
             return Vec::new();
         }
+        self.deadline = None;
         self.pokes_used += 1;
         self.enter_state(NegotiationState::Poking);
         vec![ProtocolAction::ExecutePoke]
@@ -296,6 +303,11 @@ impl NegotiationMachine {
         }
         self.deadline = None;
         match self.state {
+            NegotiationState::Approaching => {
+                // the contact point proved unreachable in time: give up
+                self.enter_state(NegotiationState::Abandoned);
+                vec![ProtocolAction::Retreat]
+            }
             NegotiationState::AwaitingAttention => {
                 if self.pokes_used < self.config.max_poke_attempts {
                     self.pokes_used += 1;
@@ -427,6 +439,26 @@ mod tests {
         let a = m.poll(200.0);
         assert_eq!(a, vec![ProtocolAction::Retreat]);
         assert_eq!(m.outcome(), SessionOutcome::Abandoned);
+    }
+
+    #[test]
+    fn unreachable_contact_point_abandons_in_bounded_time() {
+        let mut m = machine();
+        m.start(0.0);
+        assert!(m.poll(59.9).is_empty(), "still approaching");
+        let a = m.poll(60.1);
+        assert_eq!(a, vec![ProtocolAction::Retreat]);
+        assert_eq!(m.outcome(), SessionOutcome::Abandoned);
+    }
+
+    #[test]
+    fn arrival_clears_the_approach_deadline() {
+        let mut m = machine();
+        m.start(0.0);
+        m.on_arrived(1.0);
+        m.on_pattern_complete(2.0); // attention deadline now governs
+        assert!(m.poll(9.9).is_empty());
+        assert_eq!(m.poll(10.1), vec![ProtocolAction::ExecutePoke]);
     }
 
     #[test]

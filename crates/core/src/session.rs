@@ -15,13 +15,116 @@ use crate::protocol::{
 };
 use crate::roles::Role;
 use crate::safety::SafetyMonitor;
-use hdc_drone::{Drone, DroneConfig, DroneEvent, FlightPattern, PatternClassifier, PatternKind};
+use hdc_drone::{
+    Drone, DroneConfig, DroneEvent, FlightPattern, LedMode, PatternClassifier, PatternKind,
+    WindModel,
+};
 use hdc_figure::{render_signaller, MarshallingSign, Pose, Signaller, ViewSpec};
 use hdc_geometry::{CameraIntrinsics, PinholeCamera, Vec2, Vec3};
+use hdc_raster::GrayImage;
 use hdc_vision::{PipelineConfig, RecognitionPipeline};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// What a scripted human does when they read a drone pattern — the
+/// deterministic (RNG-free) alternative to the stochastic role profiles,
+/// used by failure-mode tests and the scenario harness so that behavioural
+/// assertions cannot silently depend on a hand-tuned seed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScriptedResponse {
+    /// Hold this static sign.
+    Sign(MarshallingSign),
+    /// Wave the drone off (emphatic refusal).
+    WaveOff,
+    /// Do nothing (let the drone time out).
+    Ignore,
+}
+
+/// A fully deterministic human-response script. When installed in
+/// [`SessionConfig::script`] the human answers the poke and the area request
+/// exactly as specified, after exactly `latency_s` seconds, facing the drone
+/// exactly (no facing error, no pose jitter) — the session RNG is never
+/// consulted for human behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HumanScript {
+    /// Response to a perceived poke.
+    pub on_poke: ScriptedResponse,
+    /// Response to a perceived area request (rectangle).
+    pub on_request: ScriptedResponse,
+    /// Fixed response latency, seconds.
+    pub latency_s: f64,
+}
+
+impl HumanScript {
+    /// A cooperative script: attention, then the given answer.
+    pub fn answering(answer: ScriptedResponse) -> Self {
+        HumanScript {
+            on_poke: ScriptedResponse::Sign(MarshallingSign::AttentionGained),
+            on_request: answer,
+            latency_s: 1.0,
+        }
+    }
+
+    /// An emphatic refuser who waves the drone off at the first poke.
+    pub fn wave_off() -> Self {
+        HumanScript {
+            on_poke: ScriptedResponse::WaveOff,
+            on_request: ScriptedResponse::WaveOff,
+            latency_s: 1.0,
+        }
+    }
+}
+
+/// What a fault layer decides to do with a rendered camera frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameFate {
+    /// Process the frame normally.
+    Deliver,
+    /// Discard the frame (transport loss / sensor dropout).
+    Drop,
+    /// Process the frame twice (stuck frame buffer).
+    Duplicate,
+}
+
+/// Deterministic fault-injection hooks the session consults at its
+/// disturbance points. Implementations live outside this crate (see the
+/// `hdc-sim` scenario harness); every method has a no-fault default so
+/// implementors override only the channels they perturb. Implementations
+/// must be deterministic given their own construction seed — the session
+/// guarantees it calls the hooks in a fixed order.
+pub trait SessionFaults: std::fmt::Debug {
+    /// Inspects/mutates a rendered camera frame before recognition and
+    /// decides its fate. Called once per camera frame.
+    fn on_frame(&mut self, _t: f64, _frame: &mut GrayImage) -> FrameFate {
+        FrameFate::Deliver
+    }
+
+    /// Extra human response latency added on top of the profile/script
+    /// latency, seconds. Called once per scheduled response.
+    fn response_delay(&mut self, _t: f64) -> f64 {
+        0.0
+    }
+
+    /// Additional facing error applied when the human turns toward the
+    /// drone, radians. Called once per response.
+    fn facing_bias(&mut self, _t: f64) -> f64 {
+        0.0
+    }
+
+    /// Heading drift rate while the human is signalling, radians/second
+    /// (models a signaller slowly rotating into the dead angle). Called once
+    /// per simulation step while the human holds a sign or waves.
+    fn heading_drift(&mut self, _t: f64) -> f64 {
+        0.0
+    }
+
+    /// A role change taking effect now (mid-negotiation shift change).
+    /// Called once per simulation step; the first `Some` sticks.
+    fn role_change(&mut self, _t: f64) -> Option<Role> {
+        None
+    }
+}
 
 /// Session parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -46,11 +149,19 @@ pub struct SessionConfig {
     pub max_duration_s: f64,
     /// Protocol timeouts/retries.
     pub negotiation: NegotiationConfig,
-    /// RNG seed (human behaviour).
+    /// RNG seed (human behaviour; the drone's wind process derives its own
+    /// stream from this seed, so one value pins the whole session).
     pub seed: u64,
     /// Optional behavioural-profile override (sensitivity studies). When
     /// `None` the role's standard profile applies.
     pub profile_override: Option<crate::roles::RoleProfile>,
+    /// Wind environment the drone flies in.
+    pub wind: WindModel,
+    /// Battery pack capacity, watt-hours (fault injection: battery sag).
+    pub battery_wh: f64,
+    /// Optional deterministic human-response script; replaces the stochastic
+    /// role-profile behaviour entirely when set.
+    pub script: Option<HumanScript>,
 }
 
 impl SessionConfig {
@@ -74,7 +185,16 @@ impl SessionConfig {
             negotiation: NegotiationConfig::default(),
             seed,
             profile_override: None,
+            wind: WindModel::calm(),
+            battery_wh: 71.0,
+            script: None,
         }
+    }
+
+    /// The same session with a deterministic human-response script installed.
+    pub fn with_script(mut self, script: HumanScript) -> Self {
+        self.script = Some(script);
+        self
     }
 }
 
@@ -89,6 +209,16 @@ pub struct SessionReport {
     pub frames_processed: usize,
     /// Frames on which the pipeline produced a decision.
     pub frames_recognized: usize,
+    /// Frames discarded by an installed fault layer.
+    pub frames_dropped: usize,
+    /// Frames processed twice by an installed fault layer.
+    pub frames_duplicated: usize,
+    /// LED ring mode at session end (safety audits check the all-red latch).
+    pub ring_mode: LedMode,
+    /// Whether the drone's safety function engaged during the session.
+    pub safety_engaged: bool,
+    /// Whether the drone finished on the ground.
+    pub grounded: bool,
     /// The full event log.
     pub log: EventLog,
 }
@@ -129,7 +259,7 @@ struct HumanState {
 }
 
 /// The closed-loop session engine.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CollaborationSession {
     config: SessionConfig,
     drone: Drone,
@@ -145,10 +275,13 @@ pub struct CollaborationSession {
     next_frame_at: f64,
     frames_processed: usize,
     frames_recognized: usize,
+    frames_dropped: usize,
+    frames_duplicated: usize,
     contact_point: Vec3,
     flying_to: Option<Vec3>,
     entered_area: bool,
     static_filter: hdc_vision::DecisionFilter,
+    faults: Option<Box<dyn SessionFaults>>,
 }
 
 /// Sign hold duration, seconds.
@@ -186,6 +319,14 @@ impl CollaborationSession {
         CollaborationSession {
             drone: Drone::new(DroneConfig {
                 home: Vec3::from_xy(config.drone_home, 0.0),
+                wind: config.wind,
+                // a distinct stream derived from the one session seed, so the
+                // wind process and the human never share draws
+                seed: config
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(0xD1B5),
+                battery_wh: config.battery_wh,
                 ..DroneConfig::default()
             }),
             machine: NegotiationMachine::new(config.negotiation),
@@ -212,12 +353,27 @@ impl CollaborationSession {
             next_frame_at: 0.0,
             frames_processed: 0,
             frames_recognized: 0,
+            frames_dropped: 0,
+            frames_duplicated: 0,
             contact_point,
             flying_to: None,
             entered_area: false,
             static_filter: hdc_vision::DecisionFilter::new(2),
+            faults: None,
             config,
         }
+    }
+
+    /// Installs a fault-injection layer. The hooks are consulted at every
+    /// disturbance point from the next step on.
+    pub fn set_faults(&mut self, faults: Box<dyn SessionFaults>) {
+        self.faults = Some(faults);
+    }
+
+    /// Mutable access to the drone (fault injection: LED channel failure and
+    /// other hardware degradation set up by a harness before the run).
+    pub fn drone_mut(&mut self) -> &mut Drone {
+        &mut self.drone
     }
 
     /// The event log so far.
@@ -323,6 +479,33 @@ impl CollaborationSession {
             return;
         };
         self.note(LogEntry::Note(format!("human reads the motion as: {kind}")));
+
+        // scripted humans bypass the stochastic profile entirely: exact
+        // response, exact latency, no RNG draws
+        if let Some(script) = self.config.script {
+            let scripted = match kind {
+                PatternKind::Poke => script.on_poke,
+                PatternKind::RectangleRequest => script.on_request,
+                _ => return,
+            };
+            let response = match scripted {
+                ScriptedResponse::Sign(sign) => PlannedResponse::Sign(sign),
+                ScriptedResponse::WaveOff => PlannedResponse::WaveOff,
+                ScriptedResponse::Ignore => {
+                    self.note(LogEntry::Note(
+                        "human (scripted) ignores the pattern".into(),
+                    ));
+                    return;
+                }
+            };
+            let extra = self.extra_response_delay();
+            self.human.pending = Some(PendingResponse {
+                due_at: self.time + script.latency_s + extra,
+                response,
+            });
+            return;
+        }
+
         let profile = self.behaviour_profile();
         let respond = |rng: &mut SmallRng, p: f64| rng.gen::<f64>() < p;
 
@@ -335,7 +518,8 @@ impl CollaborationSession {
                 // someone who will refuse anyway may wave the drone off right
                 // at the poke — "don't even ask"
                 if !self.config.will_consent && self.rng.gen::<f64>() < WAVE_OFF_PROB {
-                    let due_at = self.time + profile.sample_latency(&mut self.rng);
+                    let latency = profile.sample_latency(&mut self.rng);
+                    let due_at = self.time + latency + self.extra_response_delay();
                     self.human.pending = Some(PendingResponse {
                         due_at,
                         response: PlannedResponse::WaveOff,
@@ -355,7 +539,8 @@ impl CollaborationSession {
                     // an emphatic refuser may wave the drone off instead of
                     // holding the static No
                     if self.rng.gen::<f64>() < WAVE_OFF_PROB {
-                        let due_at = self.time + profile.sample_latency(&mut self.rng);
+                        let latency = profile.sample_latency(&mut self.rng);
+                        let due_at = self.time + latency + self.extra_response_delay();
                         self.human.pending = Some(PendingResponse {
                             due_at,
                             response: PlannedResponse::WaveOff,
@@ -378,11 +563,18 @@ impl CollaborationSession {
                 .collect();
             options[self.rng.gen_range(0..options.len())]
         };
-        let due_at = self.time + profile.sample_latency(&mut self.rng);
+        let latency = profile.sample_latency(&mut self.rng);
+        let due_at = self.time + latency + self.extra_response_delay();
         self.human.pending = Some(PendingResponse {
             due_at,
             response: PlannedResponse::Sign(sign),
         });
+    }
+
+    /// Extra response latency requested by an installed fault layer.
+    fn extra_response_delay(&mut self) -> f64 {
+        let t = self.time;
+        self.faults.as_mut().map_or(0.0, |f| f.response_delay(t))
     }
 
     /// Renders the drone's camera view of the human and runs recognition.
@@ -403,10 +595,33 @@ impl CollaborationSession {
         let eye = drone_pos;
         let target = signaller.chest();
         let camera = PinholeCamera::look_at(eye, target, CameraIntrinsics::new(640, 480, 640.0));
-        let frame = render_signaller(&signaller, &camera);
+        let mut frame = render_signaller(&signaller, &camera);
 
+        // the fault layer sees (and may corrupt or discard) the frame before
+        // either recognition channel does
+        let t = self.time;
+        let fate = match self.faults.as_mut() {
+            Some(f) => f.on_frame(t, &mut frame),
+            None => FrameFate::Deliver,
+        };
+        match fate {
+            FrameFate::Deliver => self.ingest_frame(&frame),
+            FrameFate::Drop => self.frames_dropped += 1,
+            FrameFate::Duplicate => {
+                self.frames_duplicated += 1;
+                self.ingest_frame(&frame);
+                // the stuck buffer only matters while we are still listening
+                if !self.machine.state().is_terminal() {
+                    self.ingest_frame(&frame);
+                }
+            }
+        }
+    }
+
+    /// Feeds one delivered camera frame to both recognition channels.
+    fn ingest_frame(&mut self, frame: &GrayImage) {
         // dynamic channel: the temporal recogniser sees every frame
-        let mask = hdc_raster::threshold::binarize(&frame, 128);
+        let mask = hdc_raster::threshold::binarize(frame, 128);
         self.dynamic.push(self.time, &mask);
         if self.dynamic.decision() == hdc_vision::dynamic::DynamicDecision::WaveOff {
             self.note(LogEntry::Note("dynamic gesture: wave-off detected".into()));
@@ -424,7 +639,7 @@ impl CollaborationSession {
         // static channel — debounced: a label is believed only when two
         // consecutive frames agree (a single mid-gesture frame can alias to
         // a static sign; a held sign always repeats)
-        let result = self.pipeline.recognize(&frame);
+        let result = self.pipeline.recognize(frame);
         self.frames_processed += 1;
         if result.decision.is_some() {
             self.frames_recognized += 1;
@@ -470,6 +685,17 @@ impl CollaborationSession {
     /// Advances the session by one step.
     pub fn step(&mut self) {
         self.time += DT;
+
+        // --- fault layer: mid-negotiation role change ---
+        let t = self.time;
+        if let Some(role) = self.faults.as_mut().and_then(|f| f.role_change(t)) {
+            if role != self.config.role {
+                self.config.role = role;
+                self.note(LogEntry::Note(format!(
+                    "human role changed mid-negotiation to {role}"
+                )));
+            }
+        }
 
         // --- protocol bootstrap ---
         if self.machine.state() == NegotiationState::Idle {
@@ -518,7 +744,20 @@ impl CollaborationSession {
                     self.human_perceive(trace);
                 }
             } else {
+                let is_safety = matches!(event, DroneEvent::SafetyTriggered(_));
                 self.note(LogEntry::Drone(event));
+                // a drone-side safety engagement (battery reserve, hardware
+                // fault) aborts the negotiation too — the protocol must not
+                // keep waiting on a platform that has landed itself
+                if is_safety {
+                    let actions = self.machine.on_safety(self.time);
+                    if !actions.is_empty() {
+                        self.note(LogEntry::StateChanged {
+                            to: self.machine.state(),
+                        });
+                        self.apply_actions(actions);
+                    }
+                }
             }
         }
         // keep the trace bounded between patterns
@@ -530,15 +769,29 @@ impl CollaborationSession {
         if let Some(pending) = self.human.pending {
             if self.time >= pending.due_at {
                 self.human.pending = None;
-                let profile = self.behaviour_profile();
-                // turn toward the drone, imperfectly
+                // turn toward the drone — imperfectly for a stochastic
+                // human, exactly for a scripted one; a fault layer can push
+                // the facing toward the recogniser's dead angle either way
                 let bearing =
                     (self.drone.state().position.xy() - self.config.human_position).angle();
-                self.human.heading = bearing + profile.sample_facing_error(&mut self.rng);
+                let bias = {
+                    let t = self.time;
+                    self.faults.as_mut().map_or(0.0, |f| f.facing_bias(t))
+                };
+                let facing_error = if self.config.script.is_some() {
+                    0.0
+                } else {
+                    self.behaviour_profile().sample_facing_error(&mut self.rng)
+                };
+                self.human.heading = bearing + facing_error + bias;
                 match pending.response {
                     PlannedResponse::Sign(sign) => {
-                        let pose =
-                            Pose::for_sign(sign).jittered(profile.pose_jitter_rad, &mut self.rng);
+                        let pose = if self.config.script.is_some() {
+                            Pose::for_sign(sign)
+                        } else {
+                            let jitter = self.behaviour_profile().pose_jitter_rad;
+                            Pose::for_sign(sign).jittered(jitter, &mut self.rng)
+                        };
                         self.human.activity =
                             HumanActivity::Holding(sign, self.time + SIGN_HOLD_S, pose);
                         self.note(LogEntry::HumanSigned(sign));
@@ -556,6 +809,12 @@ impl CollaborationSession {
                 if self.time >= until {
                     self.human.activity = HumanActivity::Idle;
                     self.note(LogEntry::HumanIdle);
+                } else if self.faults.is_some() {
+                    // fault layer: the signaller slowly rotates (e.g. into
+                    // the ~100° azimuth dead angle) while holding the sign
+                    let t = self.time;
+                    let drift = self.faults.as_mut().map_or(0.0, |f| f.heading_drift(t));
+                    self.human.heading += drift * DT;
                 }
             }
             HumanActivity::Idle => {}
@@ -607,12 +866,25 @@ impl CollaborationSession {
 
     /// Runs and produces the full report.
     pub fn run_report(mut self) -> SessionReport {
-        let outcome = self.run();
+        self.run();
+        self.into_report()
+    }
+
+    /// Produces the report for whatever has run so far — for harnesses that
+    /// step the session manually (e.g. to fire [`inject_safety`] mid-run).
+    ///
+    /// [`inject_safety`]: CollaborationSession::inject_safety
+    pub fn into_report(self) -> SessionReport {
         SessionReport {
-            outcome,
+            outcome: self.machine.outcome(),
             duration_s: self.time,
             frames_processed: self.frames_processed,
             frames_recognized: self.frames_recognized,
+            frames_dropped: self.frames_dropped,
+            frames_duplicated: self.frames_duplicated,
+            ring_mode: self.drone.ring().mode(),
+            safety_engaged: self.drone.safety_engaged(),
+            grounded: self.drone.state().is_grounded(),
             log: self.log,
         }
     }
@@ -688,24 +960,44 @@ mod tests {
 
     #[test]
     fn wave_off_is_detected_dynamically_and_denies() {
-        // seed chosen so the refusing worker waves at the poke stage and the
-        // temporal recogniser fires before any static fallback
-        let mut s = CollaborationSession::new(SessionConfig::for_role(Role::Worker, false, 13));
-        let outcome = s.run();
-        assert_eq!(outcome, SessionOutcome::Denied);
-        let waved = s
-            .log()
-            .first_time(|e| matches!(e, LogEntry::Note(n) if n.contains("waves the drone off")));
-        let detected = s
-            .log()
-            .first_time(|e| matches!(e, LogEntry::Note(n) if n.contains("wave-off detected")));
-        assert!(waved.is_some(), "log:\n{}", s.log());
-        assert!(
-            detected.is_some(),
-            "dynamic channel must fire; log:\n{}",
-            s.log()
-        );
-        assert!(waved < detected, "waving precedes detection");
+        // the scripted human waves the drone off at the poke stage on ANY
+        // seed — the assertion no longer depends on a hand-tuned RNG stream
+        for seed in [0, 13, 21, 0xDEAD_BEEF] {
+            let config = SessionConfig::for_role(Role::Worker, false, seed)
+                .with_script(HumanScript::wave_off());
+            let mut s = CollaborationSession::new(config);
+            let outcome = s.run();
+            assert_eq!(outcome, SessionOutcome::Denied, "seed {seed}");
+            let waved = s.log().first_time(
+                |e| matches!(e, LogEntry::Note(n) if n.contains("waves the drone off")),
+            );
+            let detected = s
+                .log()
+                .first_time(|e| matches!(e, LogEntry::Note(n) if n.contains("wave-off detected")));
+            assert!(waved.is_some(), "seed {seed}; log:\n{}", s.log());
+            assert!(
+                detected.is_some(),
+                "dynamic channel must fire; seed {seed}; log:\n{}",
+                s.log()
+            );
+            assert!(waved < detected, "waving precedes detection");
+        }
+    }
+
+    #[test]
+    fn scripted_sessions_are_seed_invariant() {
+        // with a script installed, the human RNG is never consulted: the
+        // whole event log must be identical across seeds
+        let run = |seed: u64| {
+            let config = SessionConfig::for_role(Role::Supervisor, true, seed).with_script(
+                HumanScript::answering(ScriptedResponse::Sign(MarshallingSign::Yes)),
+            );
+            CollaborationSession::new(config).run_report()
+        };
+        let a = run(1);
+        let b = run(999);
+        assert_eq!(a.outcome, SessionOutcome::Granted, "log:\n{}", a.log);
+        assert_eq!(format!("{}", a.log), format!("{}", b.log));
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Property tests for the safety layer (paper requirement R2: "fundamental
+//! safety aspects first").
+//!
+//! Two families of properties:
+//!
+//! 1. **Machine-level** — from *any* reachable negotiation state, a safety
+//!    event terminates the negotiation, and the danger state is never left
+//!    afterwards: no event sequence produces further actions.
+//! 2. **Session-level** — `inject_safety` fired at an arbitrary moment of
+//!    an arbitrary session (random role, consent, seed, fault schedule)
+//!    drives the whole stack to the safe terminal posture: all-red ring,
+//!    safety latch engaged, drone grounded — and it stays there without an
+//!    explicit all-clear (which does not exist: a new session is required).
+
+use hdc_core::{
+    CollaborationSession, FrameFate, NegotiationConfig, NegotiationMachine, NegotiationState,
+    ProtocolAction, Role, SessionConfig, SessionFaults,
+};
+use hdc_drone::LedMode;
+use hdc_figure::MarshallingSign;
+use proptest::prelude::*;
+
+/// One abstract input to the negotiation machine.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Arrived,
+    PatternComplete,
+    Sign(Option<MarshallingSign>),
+    Poll,
+    WaveOff,
+}
+
+fn ev() -> impl Strategy<Value = Ev> {
+    (0usize..8).prop_map(|k| match k {
+        0 => Ev::Arrived,
+        1 => Ev::PatternComplete,
+        2 => Ev::Sign(Some(MarshallingSign::AttentionGained)),
+        3 => Ev::Sign(Some(MarshallingSign::Yes)),
+        4 => Ev::Sign(Some(MarshallingSign::No)),
+        5 => Ev::Sign(None),
+        6 => Ev::Poll,
+        _ => Ev::WaveOff,
+    })
+}
+
+/// Replays `events` against a fresh machine, advancing time 1 s per event.
+fn drive(events: &[Ev]) -> (NegotiationMachine, f64) {
+    let mut m = NegotiationMachine::new(NegotiationConfig::default());
+    let mut now = 0.0;
+    m.start(now);
+    for e in events {
+        now += 1.0;
+        match e {
+            Ev::Arrived => m.on_arrived(now),
+            Ev::PatternComplete => m.on_pattern_complete(now),
+            Ev::Sign(s) => m.on_sign(*s, now),
+            Ev::Poll => m.poll(now),
+            Ev::WaveOff => m.on_wave_off(now),
+        };
+    }
+    (m, now)
+}
+
+/// A deterministic fault schedule for the session-level properties; all
+/// parameters come from the proptest strategy, no hidden randomness.
+#[derive(Debug)]
+struct ScheduledFaults {
+    drop_every: usize,
+    frame_no: usize,
+    delay_s: f64,
+    facing_bias: f64,
+}
+
+impl SessionFaults for ScheduledFaults {
+    fn on_frame(&mut self, _t: f64, _frame: &mut hdc_raster::GrayImage) -> FrameFate {
+        self.frame_no += 1;
+        if self.drop_every > 0 && self.frame_no.is_multiple_of(self.drop_every) {
+            FrameFate::Drop
+        } else {
+            FrameFate::Deliver
+        }
+    }
+
+    fn response_delay(&mut self, _t: f64) -> f64 {
+        self.delay_s
+    }
+
+    fn facing_bias(&mut self, _t: f64) -> f64 {
+        self.facing_bias
+    }
+}
+
+proptest! {
+    // From any reachable state, `on_safety` lands in a terminal state; if
+    // the negotiation was still live it is Aborted with a DangerLand.
+    #[test]
+    fn safety_terminates_from_any_reachable_state(events in prop::collection::vec(ev(), 0..12)) {
+        let (mut m, now) = drive(&events);
+        let was_terminal = m.state().is_terminal();
+        let actions = m.on_safety(now + 1.0);
+        prop_assert!(m.state().is_terminal(), "state {:?} after safety", m.state());
+        if !was_terminal {
+            prop_assert_eq!(m.state(), NegotiationState::Aborted);
+            prop_assert!(actions.contains(&ProtocolAction::DangerLand));
+        } else {
+            prop_assert!(actions.is_empty(), "terminal state must absorb safety");
+        }
+    }
+
+    // Once aborted, the danger state is never left: no subsequent event —
+    // signs, polls, wave-offs, arrivals — changes state or emits actions.
+    #[test]
+    fn danger_state_is_never_left_without_all_clear(
+        prefix in prop::collection::vec(ev(), 0..10),
+        suffix in prop::collection::vec(ev(), 1..12),
+    ) {
+        let (mut m, mut now) = drive(&prefix);
+        m.on_safety(now);
+        let frozen = m.state();
+        prop_assert!(frozen.is_terminal());
+        for e in &suffix {
+            now += 1.0;
+            let actions = match e {
+                Ev::Arrived => m.on_arrived(now),
+                Ev::PatternComplete => m.on_pattern_complete(now),
+                Ev::Sign(s) => m.on_sign(*s, now),
+                Ev::Poll => m.poll(now),
+                Ev::WaveOff => m.on_wave_off(now),
+            };
+            prop_assert!(actions.is_empty(), "{:?} re-animated an aborted negotiation", e);
+            prop_assert_eq!(m.state(), frozen);
+        }
+    }
+
+    // `inject_safety` at an arbitrary moment of an arbitrary faulted
+    // session reaches the safe terminal posture and holds it to the end.
+    #[test]
+    fn injected_safety_reaches_and_holds_the_safe_posture(
+        seed in 0u64..1000,
+        role_pick in 0usize..3,
+        consent in any::<bool>(),
+        inject_at in 0.5f64..40.0,
+        drop_every in 0usize..5,
+        delay_s in 0.0f64..3.0,
+        facing_bias in -0.6f64..0.6,
+    ) {
+        let role = [Role::Supervisor, Role::Worker, Role::Visitor][role_pick];
+        let mut s = CollaborationSession::new(SessionConfig::for_role(role, consent, seed));
+        s.set_faults(Box::new(ScheduledFaults {
+            drop_every,
+            frame_no: 0,
+            delay_s,
+            facing_bias,
+        }));
+
+        let mut injected = false;
+        while !(injected && s.is_done()) && s.time() < 180.0 {
+            if !injected && s.time() >= inject_at {
+                s.inject_safety("property-test fault");
+                injected = true;
+                prop_assert!(s.state().is_terminal(),
+                    "inject_safety must terminate the negotiation, got {:?}", s.state());
+            }
+            s.step();
+            if injected {
+                // the danger posture latches: never left mid-run
+                prop_assert!(s.drone().safety_engaged(), "safety latch released at {:.1}s", s.time());
+                prop_assert_eq!(s.drone().ring().mode(), LedMode::Danger);
+            }
+        }
+        prop_assert!(injected, "session ended before the injection time");
+
+        let report = s.into_report();
+        prop_assert!(report.safety_engaged);
+        prop_assert_eq!(report.ring_mode, LedMode::Danger);
+        prop_assert!(report.grounded, "drone must land after a safety abort");
+        prop_assert!(
+            !report.log.entries().is_empty()
+                && report.duration_s < 180.0,
+            "session must settle in bounded time after a safety abort"
+        );
+    }
+}

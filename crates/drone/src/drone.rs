@@ -24,6 +24,9 @@ pub struct DroneConfig {
     pub home: Vec3,
     /// RNG seed for the wind process.
     pub seed: u64,
+    /// Battery pack capacity, watt-hours (fault injection: a sagging pack
+    /// flies the same platform with less energy).
+    pub battery_wh: f64,
 }
 
 impl Default for DroneConfig {
@@ -34,6 +37,7 @@ impl Default for DroneConfig {
             wind: WindModel::calm(),
             home: Vec3::ZERO,
             seed: 7,
+            battery_wh: 71.0,
         }
     }
 }
@@ -94,7 +98,7 @@ impl Drone {
             executor: PatternExecutor::default(),
             state: DroneState::parked(config.home),
             ring: LedRing::default(),
-            battery: BatteryModel::h520(),
+            battery: BatteryModel::new(config.battery_wh),
             time: 0.0,
             rng: SmallRng::seed_from_u64(config.seed),
             executing: None,
@@ -114,6 +118,12 @@ impl Drone {
     /// The LED ring.
     pub fn ring(&self) -> &LedRing {
         &self.ring
+    }
+
+    /// Mutable access to the LED ring (fault injection: channel/brightness
+    /// degradation).
+    pub fn ring_mut(&mut self) -> &mut LedRing {
+        &mut self.ring
     }
 
     /// The battery.

@@ -152,7 +152,14 @@ impl Mission {
             })
             .collect();
         Mission {
-            drone: Drone::new(DroneConfig::default()),
+            // the mission drone derives its wind-process stream from the
+            // mission seed rather than the ambient DroneConfig default
+            drone: Drone::new(DroneConfig {
+                seed: seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(0x0D0E),
+                ..DroneConfig::default()
+            }),
             humans,
             queue: EventQueue::new(),
             rng,

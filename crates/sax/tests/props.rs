@@ -111,6 +111,35 @@ proptest! {
     }
 
     #[test]
+    fn index_agrees_with_exhaustive_reference_on_random_databases(
+        db in prop::collection::vec(series(48..49), 1..8),
+        q in series(48..49),
+    ) {
+        // the pruned lookup must agree with the exhaustive oracle on any
+        // database: same label, same distance, same runner-up gap
+        let mut idx = SaxIndex::new(SaxParams::default(), 48);
+        for (i, v) in db.iter().enumerate() {
+            idx.insert(format!("t{i}"), v);
+        }
+        let fast = idx.best_match(&q).unwrap();
+        let slow = idx.best_match_reference(&q).unwrap();
+        prop_assert_eq!(&fast.label, &slow.label);
+        prop_assert!((fast.distance - slow.distance).abs() < 1e-9,
+            "pruned {} vs exhaustive {}", fast.distance, slow.distance);
+
+        let (fast_best, fast_ru) = idx.best_two(&q).unwrap();
+        let (slow_best, slow_ru) = idx.best_two_reference(&q).unwrap();
+        prop_assert_eq!(&fast_best.label, &slow_best.label);
+        prop_assert!((fast_best.distance - slow_best.distance).abs() < 1e-9);
+        match (fast_ru, slow_ru) {
+            (None, None) => {}
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9,
+                "runner-up {} vs {}", a, b),
+            (a, b) => prop_assert!(false, "runner-up presence differs: {:?} vs {:?}", a, b),
+        }
+    }
+
+    #[test]
     fn index_prefers_true_nearest(v1 in series(48..49), v2 in series(48..49)) {
         let z1 = TimeSeries::new(v1.clone()).znormalized();
         let z2 = TimeSeries::new(v2.clone()).znormalized();

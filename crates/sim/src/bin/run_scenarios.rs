@@ -1,0 +1,196 @@
+//! Scenario-matrix entry point (the CI `scenarios` job).
+//!
+//! Runs the full committed matrix plus the orchard-mission cases and the
+//! dead-angle recognition sweep, writes `RESULTS_scenarios.json` at the
+//! repo root, and compares every trace digest against the golden manifest
+//! in `tests/golden/scenario_digests.txt`.
+//!
+//! * `--bless` rewrites the golden manifest from the current run (do this
+//!   only after reviewing the behavioural diff);
+//! * any invariant failure or unblessed digest drift exits non-zero.
+
+use hdc_sim::scenario::{format_manifest, golden_path, parse_manifest};
+use hdc_sim::sweep::dead_angle_sweep;
+use hdc_sim::{build_matrix, mission_cases, run_scenario, Grade};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() -> ExitCode {
+    let bless = std::env::args().any(|a| a == "--bless");
+
+    let matrix = build_matrix();
+    println!("running {} scenarios...", matrix.len());
+    let results: Vec<_> = matrix
+        .iter()
+        .map(|s| {
+            let r = run_scenario(s);
+            println!(
+                "  {:<36} {:<8} {:<9} {} ({:.1}s)",
+                r.name,
+                r.outcome.to_string().to_lowercase(),
+                r.grade.label(),
+                r.digest,
+                r.duration_s
+            );
+            for v in &r.violations {
+                println!("      VIOLATION: {v}");
+            }
+            r
+        })
+        .collect();
+
+    println!("running mission cases...");
+    let missions = mission_cases();
+    for (name, digest, summary) in &missions {
+        println!("  {name:<36} {digest} {summary}");
+    }
+
+    println!("running dead-angle sweep...");
+    let sweep = dead_angle_sweep(5);
+
+    // --- golden manifest rows: sessions then missions, in matrix order ---
+    let mut rows: Vec<(String, String, String)> = results
+        .iter()
+        .map(|r| {
+            (
+                r.name.clone(),
+                r.digest.clone(),
+                r.outcome.to_string().to_lowercase(),
+            )
+        })
+        .collect();
+    rows.extend(
+        missions
+            .iter()
+            .map(|(n, d, _)| (n.clone(), d.clone(), "mission".to_owned())),
+    );
+
+    let pass = results.iter().filter(|r| r.grade == Grade::Pass).count();
+    let degrade = results.iter().filter(|r| r.grade == Grade::Degrade).count();
+    let fail = results.iter().filter(|r| r.grade == Grade::Fail).count();
+
+    // --- RESULTS_scenarios.json (hand-built: the vendored serde is a stub) ---
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"scenario_count\": {},", results.len());
+    let _ = writeln!(json, "  \"pass\": {pass},");
+    let _ = writeln!(json, "  \"degrade\": {degrade},");
+    let _ = writeln!(json, "  \"fail\": {fail},");
+    let _ = writeln!(json, "  \"scenarios\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"outcome\": \"{}\", \"grade\": \"{}\", \"digest\": \"{}\", \
+             \"duration_s\": {:.1}, \"frames_processed\": {}, \"frames_recognized\": {}, \
+             \"frames_dropped\": {}, \"frames_duplicated\": {}, \"violations\": [{}]}}{comma}",
+            json_escape(&r.name),
+            r.outcome.to_string().to_lowercase(),
+            r.grade.label(),
+            r.digest,
+            r.duration_s,
+            r.frames.0,
+            r.frames.1,
+            r.frames.2,
+            r.frames.3,
+            r.violations
+                .iter()
+                .map(|v| format!("\"{}\"", json_escape(v)))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"missions\": [");
+    for (i, (name, digest, summary)) in missions.iter().enumerate() {
+        let comma = if i + 1 < missions.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"digest\": \"{}\", \"summary\": \"{}\"}}{comma}",
+            json_escape(name),
+            digest,
+            json_escape(summary)
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"dead_angle_sweep\": [");
+    for (i, p) in sweep.iter().enumerate() {
+        let comma = if i + 1 < sweep.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"azimuth_deg\": {:.0}, \"noise_sigma\": {:.0}, \"correct\": {}, \
+             \"total\": {}, \"rate\": {:.3}}}{comma}",
+            p.azimuth_deg,
+            p.sigma,
+            p.correct,
+            p.total,
+            p.rate()
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    let results_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../RESULTS_scenarios.json");
+    std::fs::write(results_path, &json).expect("write RESULTS_scenarios.json");
+    println!("wrote {results_path}");
+
+    // --- golden conformance ---
+    let manifest = format_manifest(&rows);
+    if bless {
+        std::fs::create_dir_all(std::path::Path::new(golden_path()).parent().unwrap())
+            .expect("create tests/golden");
+        std::fs::write(golden_path(), &manifest).expect("write golden manifest");
+        println!("blessed {} rows into {}", rows.len(), golden_path());
+    } else {
+        let committed = match std::fs::read_to_string(golden_path()) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!(
+                    "no golden manifest at {} ({e}); run with --bless to create it",
+                    golden_path()
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        let committed_rows = parse_manifest(&committed);
+        let mut drift = 0;
+        for (name, digest, outcome) in &rows {
+            match committed_rows.iter().find(|(n, _, _)| n == name) {
+                Some((_, want_digest, want_outcome)) => {
+                    if digest != want_digest || outcome != want_outcome {
+                        eprintln!(
+                            "GOLDEN DRIFT {name}: have {digest}/{outcome}, \
+                             committed {want_digest}/{want_outcome}"
+                        );
+                        drift += 1;
+                    }
+                }
+                None => {
+                    eprintln!("GOLDEN DRIFT {name}: not in the committed manifest");
+                    drift += 1;
+                }
+            }
+        }
+        for (name, _, _) in &committed_rows {
+            if !rows.iter().any(|(n, _, _)| n == name) {
+                eprintln!("GOLDEN DRIFT {name}: committed but no longer produced");
+                drift += 1;
+            }
+        }
+        if drift > 0 {
+            eprintln!("{drift} golden-trace mismatches (bless after reviewing the diff)");
+            return ExitCode::FAILURE;
+        }
+        println!("all {} golden digests match", rows.len());
+    }
+
+    println!("{pass} pass / {degrade} degrade / {fail} fail");
+    if fail > 0 {
+        eprintln!("{fail} scenarios FAILED a safety invariant or did not terminate");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,317 @@
+//! Composable, seed-deterministic fault injectors.
+//!
+//! A [`FaultPlan`] is an ordered list of [`FaultKind`] injectors plus a
+//! seed. Environment-level faults (wind, battery sag) are applied to the
+//! `SessionConfig` before the session is built; channel-level faults
+//! (frame loss, noise bursts, occlusion, drift, delays, role changes) are
+//! delivered through the session's `SessionFaults` hook layer by the
+//! [`PlanFaults`] object the plan compiles into. Everything a plan does is a
+//! pure function of `(plan, seed)` — two sessions built from the same plan
+//! and seed replay the exact same disturbance schedule.
+
+use hdc_core::{FrameFate, Role, SessionConfig, SessionFaults};
+use hdc_drone::WindModel;
+use hdc_geometry::Vec3;
+use hdc_raster::{noise, GrayImage};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One fault injector. Intensities are explicit so a scenario matrix can
+/// exercise each injector at several levels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Each camera frame is lost with this probability (transport loss).
+    DroppedFrames {
+        /// Per-frame drop probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// Each delivered frame is processed twice with this probability (stuck
+    /// frame buffer).
+    DuplicatedFrames {
+        /// Per-frame duplication probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// Periodic bursts of Gaussian sensor noise strong enough to disturb the
+    /// binarisation stage.
+    NoiseBurst {
+        /// Noise standard deviation during a burst, intensity levels.
+        sigma: f64,
+        /// Burst cycle period, seconds.
+        period_s: f64,
+        /// Burst duration at the start of each cycle, seconds.
+        burst_s: f64,
+    },
+    /// The bottom fraction of every frame is blanked (foliage occluding the
+    /// signaller's lower body).
+    Occlusion {
+        /// Fraction of the image height occluded, `[0, 1]`.
+        fraction: f64,
+    },
+    /// The signaller slowly rotates while holding a sign — toward the
+    /// recogniser's ~100° azimuth dead angle at high rates.
+    AzimuthDrift {
+        /// Heading drift rate, radians/second.
+        rate_rad_s: f64,
+    },
+    /// The human consistently faces away from the drone by this much when
+    /// responding.
+    FacingBias {
+        /// Facing error, radians.
+        rad: f64,
+    },
+    /// The LED ring's output degrades (a failing channel). Recognition does
+    /// not read the ring, so this perturbs the reported hardware posture
+    /// only — the conformance layer checks the danger latch still reports.
+    LedFailure {
+        /// Remaining ring brightness, `[0, 1]`; `0.0` is a dead ring.
+        brightness: f64,
+    },
+    /// Steady wind with gusts, blowing the drone during transits and
+    /// patterns.
+    WindGust {
+        /// Mean wind speed, m/s.
+        speed: f64,
+        /// Peak gust amplitude on top of the mean, m/s.
+        gust: f64,
+    },
+    /// A sagging battery pack: same platform, less energy. Low capacities
+    /// cross the reserve threshold mid-session and trigger the safety land.
+    BatterySag {
+        /// Pack capacity, watt-hours (healthy pack: 71 Wh).
+        capacity_wh: f64,
+    },
+    /// The human takes this much longer than their profile/script latency to
+    /// respond.
+    DelayedResponse {
+        /// Extra latency, seconds.
+        delay_s: f64,
+    },
+    /// A mid-negotiation shift change: the human's role switches at `at_s`.
+    RoleChange {
+        /// Simulated time of the change, seconds.
+        at_s: f64,
+        /// The new role.
+        to: Role,
+    },
+}
+
+/// An ordered, seeded collection of fault injectors.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed for the plan's own RNG stream (frame-loss coin flips, noise).
+    pub seed: u64,
+    /// The injectors, applied in order.
+    pub faults: Vec<FaultKind>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan with one injector.
+    pub fn single(seed: u64, fault: FaultKind) -> Self {
+        FaultPlan {
+            seed,
+            faults: vec![fault],
+        }
+    }
+
+    /// Applies the environment-level faults to a session config (wind,
+    /// battery). Channel-level faults are delivered by [`FaultPlan::build`].
+    pub fn apply_config(&self, config: &mut SessionConfig) {
+        for fault in &self.faults {
+            match *fault {
+                FaultKind::WindGust { speed, gust } => {
+                    config.wind = WindModel::breeze(Vec3::new(1.0, 0.4, 0.0), speed, gust);
+                }
+                FaultKind::BatterySag { capacity_wh } => config.battery_wh = capacity_wh,
+                _ => {}
+            }
+        }
+    }
+
+    /// The ring brightness an [`FaultKind::LedFailure`] injector imposes, if
+    /// any (applied by the harness through `drone_mut().ring_mut()`).
+    pub fn led_brightness(&self) -> Option<f64> {
+        self.faults.iter().find_map(|f| match f {
+            FaultKind::LedFailure { brightness } => Some(*brightness),
+            _ => None,
+        })
+    }
+
+    /// Compiles the channel-level faults into a `SessionFaults` hook object.
+    pub fn build(&self) -> PlanFaults {
+        let mut p = PlanFaults {
+            rng: SmallRng::seed_from_u64(self.seed ^ 0x5DEE_CE66_D15C_0FA7),
+            drop_p: 0.0,
+            dup_p: 0.0,
+            noise: None,
+            occlusion: 0.0,
+            drift: 0.0,
+            facing: 0.0,
+            delay: 0.0,
+            role_change: None,
+            role_fired: false,
+        };
+        for fault in &self.faults {
+            match *fault {
+                FaultKind::DroppedFrames { probability } => p.drop_p = probability,
+                FaultKind::DuplicatedFrames { probability } => p.dup_p = probability,
+                FaultKind::NoiseBurst {
+                    sigma,
+                    period_s,
+                    burst_s,
+                } => p.noise = Some((sigma, period_s, burst_s)),
+                FaultKind::Occlusion { fraction } => p.occlusion = fraction,
+                FaultKind::AzimuthDrift { rate_rad_s } => p.drift = rate_rad_s,
+                FaultKind::FacingBias { rad } => p.facing = rad,
+                FaultKind::DelayedResponse { delay_s } => p.delay = delay_s,
+                FaultKind::RoleChange { at_s, to } => p.role_change = Some((at_s, to)),
+                FaultKind::LedFailure { .. }
+                | FaultKind::WindGust { .. }
+                | FaultKind::BatterySag { .. } => {}
+            }
+        }
+        p
+    }
+}
+
+/// The compiled hook layer a [`FaultPlan`] installs into a session.
+#[derive(Debug)]
+pub struct PlanFaults {
+    rng: SmallRng,
+    drop_p: f64,
+    dup_p: f64,
+    noise: Option<(f64, f64, f64)>,
+    occlusion: f64,
+    drift: f64,
+    facing: f64,
+    delay: f64,
+    role_change: Option<(f64, Role)>,
+    role_fired: bool,
+}
+
+impl SessionFaults for PlanFaults {
+    fn on_frame(&mut self, t: f64, frame: &mut GrayImage) -> FrameFate {
+        if let Some((sigma, period_s, burst_s)) = self.noise {
+            if t.rem_euclid(period_s) < burst_s {
+                noise::add_gaussian(frame, sigma, &mut self.rng);
+            }
+        }
+        if self.occlusion > 0.0 {
+            let h = frame.height();
+            let cut = ((f64::from(h) * self.occlusion).round() as u32).min(h);
+            for y in (h - cut)..h {
+                for x in 0..frame.width() {
+                    frame.set(x, y, 0);
+                }
+            }
+        }
+        if self.drop_p > 0.0 && self.rng.gen::<f64>() < self.drop_p {
+            return FrameFate::Drop;
+        }
+        if self.dup_p > 0.0 && self.rng.gen::<f64>() < self.dup_p {
+            return FrameFate::Duplicate;
+        }
+        FrameFate::Deliver
+    }
+
+    fn response_delay(&mut self, _t: f64) -> f64 {
+        self.delay
+    }
+
+    fn facing_bias(&mut self, _t: f64) -> f64 {
+        self.facing
+    }
+
+    fn heading_drift(&mut self, _t: f64) -> f64 {
+        self.drift
+    }
+
+    fn role_change(&mut self, t: f64) -> Option<Role> {
+        match self.role_change {
+            Some((at_s, to)) if !self.role_fired && t >= at_s => {
+                self.role_fired = true;
+                Some(to)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_deterministic() {
+        let plan = FaultPlan {
+            seed: 11,
+            faults: vec![
+                FaultKind::DroppedFrames { probability: 0.5 },
+                FaultKind::NoiseBurst {
+                    sigma: 30.0,
+                    period_s: 4.0,
+                    burst_s: 1.0,
+                },
+            ],
+        };
+        let run = |plan: &FaultPlan| {
+            let mut f = plan.build();
+            (0..40)
+                .map(|i| {
+                    let mut img = GrayImage::filled(8, 8, 200);
+                    let fate = f.on_frame(i as f64 * 0.5, &mut img);
+                    (fate, img.pixels().to_vec())
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(&plan), run(&plan));
+    }
+
+    #[test]
+    fn occlusion_blanks_the_bottom_rows() {
+        let plan = FaultPlan::single(1, FaultKind::Occlusion { fraction: 0.5 });
+        let mut f = plan.build();
+        let mut img = GrayImage::filled(4, 4, 255);
+        assert_eq!(f.on_frame(0.0, &mut img), FrameFate::Deliver);
+        assert_eq!(img.get(0, 0), Some(255));
+        assert_eq!(img.get(0, 3), Some(0));
+        assert_eq!(img.get(3, 2), Some(0));
+    }
+
+    #[test]
+    fn config_faults_reach_the_session_config() {
+        let plan = FaultPlan {
+            seed: 0,
+            faults: vec![
+                FaultKind::WindGust {
+                    speed: 5.0,
+                    gust: 2.0,
+                },
+                FaultKind::BatterySag { capacity_wh: 10.0 },
+            ],
+        };
+        let mut cfg = SessionConfig::for_role(Role::Worker, true, 1);
+        plan.apply_config(&mut cfg);
+        assert!((cfg.wind.max_speed() - 7.0).abs() < 1e-9);
+        assert_eq!(cfg.battery_wh, 10.0);
+    }
+
+    #[test]
+    fn role_change_fires_once() {
+        let plan = FaultPlan::single(
+            0,
+            FaultKind::RoleChange {
+                at_s: 2.0,
+                to: Role::Visitor,
+            },
+        );
+        let mut f = plan.build();
+        assert_eq!(f.role_change(1.0), None);
+        assert_eq!(f.role_change(2.0), Some(Role::Visitor));
+        assert_eq!(f.role_change(3.0), None);
+    }
+}

@@ -1,0 +1,651 @@
+//! Named scenarios, the matrix runner, and the safety-invariant checks.
+//!
+//! A [`Scenario`] is a session configuration plus a [`FaultPlan`] and an
+//! expected outcome class. [`build_matrix`] expands
+//! {role × sign × consent × fault plan} into the committed scenario set;
+//! [`run_scenario`] executes one scenario through the full closed loop and
+//! grades it:
+//!
+//! * **Pass** — expected outcome class and every safety invariant held,
+//! * **Degrade** — the session terminated and the invariants held, but the
+//!   fault load pushed it into a different (still safe) outcome,
+//! * **Fail** — an invariant was violated or the session did not terminate.
+//!
+//! The invariants are the paper's dependability claims: area entry only
+//! after a recognised Yes (R4), a wave-off is always honoured, the danger
+//! posture is terminal (no actions after `DangerLand`, ring latched all-red
+//! whenever the safety function engaged), and negotiation time is bounded.
+
+use crate::fault::{FaultKind, FaultPlan};
+use crate::trace::{canonical_trace, digest_hex};
+use hdc_core::{
+    CollaborationSession, HumanScript, LogEntry, ProtocolAction, Role, ScriptedResponse,
+    SessionConfig, SessionOutcome, SessionReport,
+};
+use hdc_drone::LedMode;
+use hdc_figure::MarshallingSign;
+use hdc_orchard::{Mission, MissionConfig, OrchardMap};
+
+/// A named, fully specified scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Unique scenario name (the golden-manifest key).
+    pub name: String,
+    /// Session configuration (faults in the plan may still adjust it).
+    pub config: SessionConfig,
+    /// The fault schedule.
+    pub plan: FaultPlan,
+    /// Fire an external safety fault at this simulated time.
+    pub inject_safety_at: Option<f64>,
+    /// Accepted outcome classes; empty accepts any terminal outcome.
+    pub expect: Vec<SessionOutcome>,
+}
+
+/// How a scenario fared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grade {
+    /// Expected outcome, invariants held.
+    Pass,
+    /// Unexpected (but safe and terminal) outcome under fault load.
+    Degrade,
+    /// Invariant violation or non-termination.
+    Fail,
+}
+
+impl Grade {
+    /// Lower-case label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Grade::Pass => "pass",
+            Grade::Degrade => "degrade",
+            Grade::Fail => "fail",
+        }
+    }
+}
+
+/// The outcome of running one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub name: String,
+    /// Final protocol outcome.
+    pub outcome: SessionOutcome,
+    /// Grade against expectation and invariants.
+    pub grade: Grade,
+    /// Canonical trace digest (what the golden manifest pins).
+    pub digest: String,
+    /// Invariant violations, empty when safe.
+    pub violations: Vec<String>,
+    /// Simulated session duration, seconds.
+    pub duration_s: f64,
+    /// Frames processed / recognised / dropped / duplicated.
+    pub frames: (usize, usize, usize, usize),
+}
+
+/// Runs one scenario through the full closed loop.
+pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
+    let mut config = scenario.config;
+    scenario.plan.apply_config(&mut config);
+    let mut session = CollaborationSession::new(config);
+    if let Some(brightness) = scenario.plan.led_brightness() {
+        session.drone_mut().ring_mut().brightness = brightness;
+    }
+    session.set_faults(Box::new(scenario.plan.build()));
+
+    let mut inject_at = scenario.inject_safety_at;
+    while !session.is_done() && session.time() < config.max_duration_s {
+        if let Some(at) = inject_at {
+            if session.time() >= at {
+                session.inject_safety("scenario fault injection");
+                inject_at = None;
+            }
+        }
+        session.step();
+    }
+    let report = session.into_report();
+    grade_report(scenario, &report)
+}
+
+/// Grades a finished session report against a scenario's expectations.
+pub fn grade_report(scenario: &Scenario, report: &SessionReport) -> ScenarioResult {
+    let violations = check_invariants(report);
+    let terminal = report.outcome != SessionOutcome::StillRunning;
+    let expected = scenario.expect.is_empty() || scenario.expect.contains(&report.outcome);
+    let grade = if !violations.is_empty() || !terminal {
+        Grade::Fail
+    } else if expected {
+        Grade::Pass
+    } else {
+        Grade::Degrade
+    };
+    ScenarioResult {
+        name: scenario.name.clone(),
+        outcome: report.outcome,
+        grade,
+        digest: digest_hex(&canonical_trace(&report.log)),
+        violations,
+        duration_s: report.duration_s,
+        frames: (
+            report.frames_processed,
+            report.frames_recognized,
+            report.frames_dropped,
+            report.frames_duplicated,
+        ),
+    }
+}
+
+/// Checks the safety invariants on a finished session report.
+pub fn check_invariants(report: &SessionReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    let log = &report.log;
+
+    // R4: the drone enters the area only after a recognised Yes.
+    let first_yes = log.first_time(|e| matches!(e, LogEntry::Recognized(Some(l)) if l == "Yes"));
+    for (t, _) in log.filter(|e| *e == LogEntry::Action(ProtocolAction::EnterArea)) {
+        match first_yes {
+            Some(yes_t) if yes_t <= *t => {}
+            _ => violations.push(format!(
+                "EnterArea at {t:.1}s without a prior recognised Yes"
+            )),
+        }
+    }
+
+    // the danger posture is terminal: no protocol actions after DangerLand
+    if let Some(danger_t) = log.first_time(|e| *e == LogEntry::Action(ProtocolAction::DangerLand)) {
+        for (t, e) in log.filter(|e| matches!(e, LogEntry::Action(_))) {
+            if *t > danger_t {
+                violations.push(format!("action after DangerLand at {t:.1}s: {e}"));
+            }
+        }
+    }
+
+    // a wave-off is always honoured: no area entry at or after detection
+    if let Some(wave_t) =
+        log.first_time(|e| matches!(e, LogEntry::Note(n) if n.contains("wave-off detected")))
+    {
+        for (t, _) in log.filter(|e| *e == LogEntry::Action(ProtocolAction::EnterArea)) {
+            if *t >= wave_t {
+                violations.push(format!(
+                    "EnterArea at {t:.1}s after wave-off at {wave_t:.1}s"
+                ));
+            }
+        }
+    }
+
+    // an aborted negotiation must leave the fail-safe hardware posture
+    if report.outcome == SessionOutcome::Aborted {
+        if !report.safety_engaged {
+            violations.push("Aborted without the drone safety function engaging".into());
+        }
+        if !report.grounded {
+            violations.push("Aborted but the drone is still airborne".into());
+        }
+    }
+
+    // the all-red ring latches whenever the safety function engaged
+    if report.safety_engaged && report.ring_mode != LedMode::Danger {
+        violations.push(format!(
+            "safety engaged but the ring shows {:?} instead of Danger",
+            report.ring_mode
+        ));
+    }
+
+    violations
+}
+
+/// The scripted consenting supervisor used as the common substrate for the
+/// per-injector scenarios: deterministic human behaviour isolates the fault
+/// channel under test.
+fn scripted_base(seed: u64) -> SessionConfig {
+    SessionConfig::for_role(Role::Supervisor, true, seed).with_script(HumanScript::answering(
+        ScriptedResponse::Sign(MarshallingSign::Yes),
+    ))
+}
+
+fn scenario(
+    name: &str,
+    config: SessionConfig,
+    plan: FaultPlan,
+    expect: Vec<SessionOutcome>,
+) -> Scenario {
+    Scenario {
+        name: name.to_owned(),
+        config,
+        plan,
+        inject_safety_at: None,
+        expect,
+    }
+}
+
+fn fault_scenario(name: &str, fault: FaultKind, expect: Vec<SessionOutcome>) -> Scenario {
+    scenario(
+        name,
+        scripted_base(42),
+        FaultPlan::single(42, fault),
+        expect,
+    )
+}
+
+/// Builds the committed scenario matrix: baselines for every role and
+/// consent intention, scripted coverage of all three marshalling signs plus
+/// the wave-off, every fault injector at two intensities, combined fault
+/// gauntlets, and external safety injection.
+pub fn build_matrix() -> Vec<Scenario> {
+    use SessionOutcome::{Abandoned, Aborted, Denied, Granted};
+    let mut m = Vec::new();
+
+    // --- stochastic baselines: {role} × {consent} ---
+    for (role, consent, seed, expect) in [
+        (Role::Supervisor, true, 3, vec![Granted]),
+        (Role::Supervisor, false, 4, vec![Denied]),
+        // seed 1 commits a training error: the worker answers No by mistake
+        (Role::Worker, true, 1, vec![Granted, Denied, Abandoned]),
+        (Role::Worker, false, 0, vec![Denied, Abandoned]),
+        (Role::Visitor, true, 2, vec![Granted, Abandoned]),
+        (Role::Visitor, false, 5, vec![Denied, Abandoned]),
+    ] {
+        let consent_label = if consent { "consenting" } else { "refusing" };
+        let name = format!("baseline-{role}-{consent_label}").to_lowercase();
+        m.push(scenario(
+            &name,
+            SessionConfig::for_role(role, consent, seed),
+            FaultPlan::none(),
+            expect,
+        ));
+    }
+
+    // --- scripted sign coverage: AttentionGained + {Yes, No}, wave-off,
+    //     and a silent human ---
+    m.push(scenario(
+        "scripted-attention-yes-grants",
+        scripted_base(7),
+        FaultPlan::none(),
+        vec![Granted],
+    ));
+    m.push(scenario(
+        "scripted-attention-no-denies",
+        SessionConfig::for_role(Role::Supervisor, false, 7).with_script(HumanScript::answering(
+            ScriptedResponse::Sign(MarshallingSign::No),
+        )),
+        FaultPlan::none(),
+        vec![Denied],
+    ));
+    m.push(scenario(
+        "scripted-wave-off-denies",
+        SessionConfig::for_role(Role::Worker, false, 7).with_script(HumanScript::wave_off()),
+        FaultPlan::none(),
+        vec![Denied],
+    ));
+    m.push(scenario(
+        "scripted-ignore-abandons",
+        SessionConfig::for_role(Role::Visitor, true, 7).with_script(HumanScript {
+            on_poke: ScriptedResponse::Ignore,
+            on_request: ScriptedResponse::Ignore,
+            latency_s: 1.0,
+        }),
+        FaultPlan::none(),
+        vec![Abandoned],
+    ));
+
+    // --- every fault injector at two intensities, on the scripted
+    //     consenting supervisor ---
+    m.push(fault_scenario(
+        "frame-drop-light",
+        FaultKind::DroppedFrames { probability: 0.15 },
+        vec![Granted],
+    ));
+    m.push(fault_scenario(
+        "frame-drop-heavy",
+        FaultKind::DroppedFrames { probability: 0.7 },
+        vec![Granted, Abandoned],
+    ));
+    m.push(fault_scenario(
+        "frame-dup-light",
+        FaultKind::DuplicatedFrames { probability: 0.25 },
+        vec![Granted],
+    ));
+    m.push(fault_scenario(
+        "frame-dup-heavy",
+        FaultKind::DuplicatedFrames { probability: 0.6 },
+        vec![Granted],
+    ));
+    m.push(fault_scenario(
+        "noise-burst-light",
+        FaultKind::NoiseBurst {
+            sigma: 12.0,
+            period_s: 4.0,
+            burst_s: 1.0,
+        },
+        vec![Granted],
+    ));
+    m.push(fault_scenario(
+        "noise-burst-heavy",
+        FaultKind::NoiseBurst {
+            sigma: 60.0,
+            period_s: 2.0,
+            burst_s: 1.5,
+        },
+        vec![Granted, Abandoned, Denied],
+    ));
+    m.push(fault_scenario(
+        "occlusion-light",
+        FaultKind::Occlusion { fraction: 0.12 },
+        vec![Granted],
+    ));
+    m.push(fault_scenario(
+        "occlusion-heavy",
+        FaultKind::Occlusion { fraction: 0.45 },
+        vec![Granted, Abandoned, Denied],
+    ));
+    m.push(fault_scenario(
+        "azimuth-drift-slow",
+        FaultKind::AzimuthDrift { rate_rad_s: 0.05 },
+        vec![Granted],
+    ));
+    // fast drift rotates the held Yes through aliasing views: the static
+    // channel can misread it as a No before the sign becomes unreadable
+    m.push(fault_scenario(
+        "azimuth-drift-fast",
+        FaultKind::AzimuthDrift { rate_rad_s: 0.5 },
+        vec![Granted, Abandoned, Denied],
+    ));
+    m.push(fault_scenario(
+        "facing-bias-mild",
+        FaultKind::FacingBias { rad: 0.35 },
+        vec![Granted],
+    ));
+    // 1.75 rad ≈ 100°: squarely in the recogniser's dead angle (Figure 4)
+    m.push(fault_scenario(
+        "facing-bias-dead-angle",
+        FaultKind::FacingBias { rad: 1.75 },
+        vec![Abandoned],
+    ));
+    m.push(fault_scenario(
+        "led-failure-dim",
+        FaultKind::LedFailure { brightness: 0.5 },
+        vec![Granted],
+    ));
+    m.push(fault_scenario(
+        "led-failure-dead",
+        FaultKind::LedFailure { brightness: 0.0 },
+        vec![Granted],
+    ));
+    // even a breeze can gust the drone across the 2 m separation floor
+    // during the close-in poke — the safety monitor aborts, which is the
+    // correct (conservative) behaviour
+    m.push(fault_scenario(
+        "wind-breeze",
+        FaultKind::WindGust {
+            speed: 3.0,
+            gust: 1.5,
+        },
+        vec![Granted, Aborted],
+    ));
+    m.push(fault_scenario(
+        "wind-gale",
+        FaultKind::WindGust {
+            speed: 8.0,
+            gust: 4.0,
+        },
+        vec![Granted, Abandoned, Aborted],
+    ));
+    m.push(fault_scenario(
+        "battery-sag-mild",
+        FaultKind::BatterySag { capacity_wh: 25.0 },
+        vec![Granted],
+    ));
+    m.push(fault_scenario(
+        "battery-sag-critical",
+        FaultKind::BatterySag { capacity_wh: 1.0 },
+        vec![Abandoned, Aborted],
+    ));
+    m.push(fault_scenario(
+        "delayed-response-mild",
+        FaultKind::DelayedResponse { delay_s: 2.0 },
+        vec![Granted],
+    ));
+    m.push(fault_scenario(
+        "delayed-response-severe",
+        FaultKind::DelayedResponse { delay_s: 9.0 },
+        vec![Granted, Abandoned],
+    ));
+    m.push(scenario(
+        "role-change-worker-to-visitor",
+        SessionConfig::for_role(Role::Worker, true, 8),
+        FaultPlan::single(
+            8,
+            FaultKind::RoleChange {
+                at_s: 10.0,
+                to: Role::Visitor,
+            },
+        ),
+        vec![],
+    ));
+    m.push(scenario(
+        "role-change-visitor-to-supervisor",
+        SessionConfig::for_role(Role::Visitor, true, 9),
+        FaultPlan::single(
+            9,
+            FaultKind::RoleChange {
+                at_s: 25.0,
+                to: Role::Supervisor,
+            },
+        ),
+        vec![],
+    ));
+
+    // --- combined gauntlets ---
+    m.push(scenario(
+        "gauntlet-lossy-noisy-slow",
+        scripted_base(42),
+        FaultPlan {
+            seed: 17,
+            faults: vec![
+                FaultKind::DroppedFrames { probability: 0.3 },
+                FaultKind::NoiseBurst {
+                    sigma: 25.0,
+                    period_s: 5.0,
+                    burst_s: 1.0,
+                },
+                FaultKind::DelayedResponse { delay_s: 3.0 },
+            ],
+        },
+        vec![Granted, Abandoned, Denied],
+    ));
+    m.push(scenario(
+        "wave-off-through-drops",
+        SessionConfig::for_role(Role::Worker, false, 11).with_script(HumanScript::wave_off()),
+        FaultPlan::single(11, FaultKind::DroppedFrames { probability: 0.35 }),
+        vec![Denied, Abandoned],
+    ));
+    m.push(scenario(
+        "wave-off-through-noise",
+        SessionConfig::for_role(Role::Worker, false, 12).with_script(HumanScript::wave_off()),
+        FaultPlan::single(
+            12,
+            FaultKind::NoiseBurst {
+                sigma: 20.0,
+                period_s: 6.0,
+                burst_s: 1.0,
+            },
+        ),
+        vec![Denied, Abandoned],
+    ));
+
+    // --- external safety injection ---
+    let mut early = scenario(
+        "injected-safety-early",
+        scripted_base(21),
+        FaultPlan::none(),
+        vec![Aborted],
+    );
+    early.inject_safety_at = Some(5.0);
+    m.push(early);
+    let mut mid = scenario(
+        "injected-safety-mid-negotiation",
+        scripted_base(21),
+        FaultPlan::none(),
+        vec![Aborted],
+    );
+    mid.inject_safety_at = Some(15.0);
+    m.push(mid);
+
+    m
+}
+
+/// Orchard-mission conformance cases: `(name, digest, summary)` rows for the
+/// golden manifest, pinning the mission layer on top of the session layer.
+pub fn mission_cases() -> Vec<(String, String, String)> {
+    [
+        ("mission-grid-3x3", 7u64, 3u32),
+        ("mission-grid-4x4", 99, 4),
+    ]
+    .into_iter()
+    .map(|(name, seed, side)| {
+        let map = OrchardMap::grid(side, side, 4.0, 3.0);
+        let cfg = MissionConfig {
+            human_count: 3,
+            ..Default::default()
+        };
+        let stats = Mission::new(cfg, map, seed).run();
+        let text = format!("{stats:?}");
+        let summary = format!(
+            "traps_read={} skipped={} negotiations={}",
+            stats.traps_read,
+            stats.traps_skipped,
+            stats.negotiations.total()
+        );
+        (name.to_owned(), digest_hex(&text), summary)
+    })
+    .collect()
+}
+
+/// Where the golden digest manifest lives (repo root, committed).
+pub fn golden_path() -> &'static str {
+    concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/scenario_digests.txt"
+    )
+}
+
+/// Formats manifest rows (`name digest outcome`) into the committed text.
+pub fn format_manifest(rows: &[(String, String, String)]) -> String {
+    let mut out = String::from(
+        "# Golden trace digests: one row per scenario, `name digest outcome`.\n\
+         # Regenerate with `cargo run --release -p hdc-sim --bin run_scenarios -- --bless`\n\
+         # after reviewing the behavioural diff.\n",
+    );
+    for (name, digest, outcome) in rows {
+        out.push_str(&format!("{name} {digest} {outcome}\n"));
+    }
+    out
+}
+
+/// Parses a golden manifest back into `(name, digest, outcome)` rows.
+pub fn parse_manifest(text: &str) -> Vec<(String, String, String)> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .filter_map(|l| {
+            let mut parts = l.split_whitespace();
+            let name = parts.next()?.to_owned();
+            let digest = parts.next()?.to_owned();
+            let outcome = parts.collect::<Vec<_>>().join(" ");
+            Some((name, digest, outcome))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_core::EventLog;
+
+    fn empty_report(outcome: SessionOutcome) -> SessionReport {
+        SessionReport {
+            outcome,
+            duration_s: 10.0,
+            frames_processed: 0,
+            frames_recognized: 0,
+            frames_dropped: 0,
+            frames_duplicated: 0,
+            ring_mode: LedMode::Navigation,
+            safety_engaged: false,
+            grounded: false,
+            log: EventLog::new(),
+        }
+    }
+
+    #[test]
+    fn matrix_is_large_named_and_unique() {
+        let matrix = build_matrix();
+        assert!(matrix.len() >= 30, "only {} scenarios", matrix.len());
+        let mut names: Vec<_> = matrix.iter().map(|s| s.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), matrix.len(), "scenario names must be unique");
+    }
+
+    #[test]
+    fn invariant_checker_catches_entry_without_yes() {
+        let mut report = empty_report(SessionOutcome::Granted);
+        report
+            .log
+            .push(5.0, LogEntry::Action(ProtocolAction::EnterArea));
+        let violations = check_invariants(&report);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("without a prior recognised Yes"));
+    }
+
+    #[test]
+    fn invariant_checker_catches_action_after_danger_land() {
+        let mut report = empty_report(SessionOutcome::Aborted);
+        report.safety_engaged = true;
+        report.grounded = true;
+        report.ring_mode = LedMode::Danger;
+        report
+            .log
+            .push(3.0, LogEntry::Action(ProtocolAction::DangerLand));
+        report
+            .log
+            .push(4.0, LogEntry::Action(ProtocolAction::ExecuteNod));
+        let violations = check_invariants(&report);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("after DangerLand"));
+    }
+
+    #[test]
+    fn invariant_checker_catches_unlatched_danger_ring() {
+        let mut report = empty_report(SessionOutcome::Aborted);
+        report.safety_engaged = true;
+        report.grounded = true;
+        report.ring_mode = LedMode::Navigation;
+        let violations = check_invariants(&report);
+        assert!(violations.iter().any(|v| v.contains("instead of Danger")));
+    }
+
+    #[test]
+    fn grading_distinguishes_pass_degrade_fail() {
+        let sc = scenario(
+            "t",
+            scripted_base(1),
+            FaultPlan::none(),
+            vec![SessionOutcome::Granted],
+        );
+        let mut ok = empty_report(SessionOutcome::Granted);
+        ok.log.push(1.0, LogEntry::Recognized(Some("Yes".into())));
+        assert_eq!(grade_report(&sc, &ok).grade, Grade::Pass);
+        let degraded = empty_report(SessionOutcome::Abandoned);
+        assert_eq!(grade_report(&sc, &degraded).grade, Grade::Degrade);
+        let hung = empty_report(SessionOutcome::StillRunning);
+        assert_eq!(grade_report(&sc, &hung).grade, Grade::Fail);
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let rows = vec![
+            ("a".to_owned(), "00ff".to_owned(), "granted".to_owned()),
+            ("b".to_owned(), "11aa".to_owned(), "denied".to_owned()),
+        ];
+        assert_eq!(parse_manifest(&format_manifest(&rows)), rows);
+    }
+}

@@ -1,0 +1,143 @@
+//! Temporal filtering under frame drops.
+//!
+//! The dynamic (wave-off) recogniser operates on a timestamped sliding
+//! window, so lost camera frames shrink its evidence but must not corrupt
+//! it: a real wave survives substantial loss, a held sign never turns into
+//! a phantom wave, and starving the window degrades to *Inconclusive* —
+//! never to a wrong decision.
+
+use hdc_figure::{render_pose, MarshallingSign, Pose, ViewSpec};
+use hdc_raster::threshold::binarize;
+use hdc_raster::Bitmap;
+use hdc_vision::dynamic::{DynamicConfig, DynamicDecision, DynamicRecognizer};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn mask_of(pose: Pose) -> Bitmap {
+    let frame = render_pose(pose, &ViewSpec::paper_default(0.0, 5.0, 3.0));
+    binarize(&frame, 128)
+}
+
+/// The session's listening configuration (0.5 s cadence, 6 s window).
+fn session_config() -> DynamicConfig {
+    DynamicConfig {
+        window_s: 6.0,
+        min_cycles: 2,
+        min_amplitude: 0.12,
+        static_max_sd: 0.03,
+        min_frames: 6,
+    }
+}
+
+/// Feeds `seconds` of the given activity at `dt` cadence, dropping each
+/// frame with probability `drop_p` (seeded, reproducible).
+fn feed(
+    rec: &mut DynamicRecognizer,
+    seconds: f64,
+    dt: f64,
+    drop_p: f64,
+    seed: u64,
+    pose_at: impl Fn(f64) -> Pose,
+) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let steps = (seconds / dt).round() as usize;
+    for i in 0..steps {
+        let t = i as f64 * dt;
+        if rng.gen::<f64>() < drop_p {
+            continue; // frame lost in transport
+        }
+        rec.push(t, &mask_of(pose_at(t)));
+    }
+}
+
+#[test]
+fn wave_off_survives_one_third_frame_loss() {
+    for seed in 0..5 {
+        let mut rec = DynamicRecognizer::new(DynamicConfig::default());
+        feed(&mut rec, 3.0, 0.1, 0.33, seed, Pose::wave_off_phase);
+        assert_eq!(
+            rec.decision(),
+            DynamicDecision::WaveOff,
+            "1 Hz wave must survive 33% loss (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn wave_off_survives_loss_at_session_cadence() {
+    // the session samples at 0.5 s; a 0.5 Hz wave gives 4 samples/cycle, and
+    // dropping a quarter of them must still leave ≥2 detectable cycles
+    for seed in 0..5 {
+        let mut rec = DynamicRecognizer::new(session_config());
+        feed(&mut rec, 8.0, 0.5, 0.25, seed, |t| {
+            Pose::wave_off_phase(t * 0.5)
+        });
+        assert_eq!(
+            rec.decision(),
+            DynamicDecision::WaveOff,
+            "session-cadence wave must survive 25% loss (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn lossy_wave_degrades_conservatively_never_to_static() {
+    // when loss thins a slower wave below the cycle-evidence threshold the
+    // recogniser may withhold judgement, but it must never misread the
+    // motion as a held static sign
+    for freq in [0.25, 0.4, 0.5] {
+        for seed in 0..6 {
+            let mut rec = DynamicRecognizer::new(session_config());
+            feed(&mut rec, 8.0, 0.5, 0.25, seed, |t| {
+                Pose::wave_off_phase(t * freq)
+            });
+            assert_ne!(
+                rec.decision(),
+                DynamicDecision::StaticHold,
+                "a {freq} Hz wave under loss (seed {seed}) must not read as static"
+            );
+        }
+    }
+}
+
+#[test]
+fn held_signs_never_alias_to_a_wave_under_drops() {
+    // frame loss changes *which* samples of a static pose are seen; since
+    // they are all identical, no drop pattern can fabricate oscillation
+    for sign in MarshallingSign::ALL {
+        for seed in 0..4 {
+            let mut rec = DynamicRecognizer::new(session_config());
+            let pose = Pose::for_sign(sign);
+            feed(&mut rec, 8.0, 0.5, 0.4, seed, |_| pose);
+            assert_ne!(
+                rec.decision(),
+                DynamicDecision::WaveOff,
+                "{sign} under 40% loss (seed {seed}) must not read as a wave"
+            );
+        }
+    }
+}
+
+#[test]
+fn starved_window_is_inconclusive_not_wrong() {
+    // 90% loss leaves too few frames: the recogniser must withhold judgement
+    let mut rec = DynamicRecognizer::new(session_config());
+    feed(&mut rec, 4.0, 0.5, 0.9, 3, Pose::wave_off_phase);
+    assert!(rec.len() < 6, "sanity: the window really is starved");
+    assert_eq!(rec.decision(), DynamicDecision::Inconclusive);
+}
+
+#[test]
+fn burst_loss_followed_by_clean_frames_recovers() {
+    // a 2 s blackout mid-wave: once frames resume, the window refills and
+    // the wave is detected again
+    let mut rec = DynamicRecognizer::new(DynamicConfig::default());
+    for i in 0..50 {
+        let t = i as f64 * 0.1;
+        if (1.0..3.0).contains(&t) {
+            continue; // blackout
+        }
+        rec.push(t, &mask_of(Pose::wave_off_phase(t)));
+    }
+    assert_eq!(rec.decision(), DynamicDecision::WaveOff);
+}

@@ -4,7 +4,10 @@
 //!
 //! Run with: `cargo run --release --example wave_off`
 
-use hdc::core::{NegotiationConfig, NegotiationMachine, NegotiationState};
+use hdc::core::{
+    CollaborationSession, HumanScript, NegotiationConfig, NegotiationMachine, NegotiationState,
+    Role, SessionConfig, SessionOutcome,
+};
 use hdc::figure::{render_pose, MarshallingSign, Pose, ViewSpec};
 use hdc::raster::threshold::binarize;
 use hdc::vision::dynamic::{DynamicConfig, DynamicDecision, DynamicRecognizer};
@@ -47,4 +50,19 @@ fn main() {
     println!("  wave-off actions     : {actions:?}");
     println!("  state after wave-off : {}", machine.state());
     assert_eq!(machine.state(), NegotiationState::Denied);
+
+    println!("\nphase 4: the full closed loop, scripted so any seed works");
+    // A scripted human waves the drone off with fixed latency and perfect
+    // facing — no RNG in the behaviour, so the outcome is seed-independent.
+    for seed in [0, 42, 0xDEAD_BEEF] {
+        let config =
+            SessionConfig::for_role(Role::Worker, false, seed).with_script(HumanScript::wave_off());
+        let report = CollaborationSession::new(config).run_report();
+        println!(
+            "  seed {seed:>10}: outcome {} after {:.1} s ({} frames)",
+            report.outcome, report.duration_s, report.frames_processed
+        );
+        assert_eq!(report.outcome, SessionOutcome::Denied);
+    }
+    println!("  the wave-off denies the request on every seed");
 }
