@@ -11,7 +11,9 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod frames;
 pub mod report;
+pub mod scaling;
 pub mod throughput;
 
 pub use experiments::{all_experiments, run_experiment, ExperimentId};

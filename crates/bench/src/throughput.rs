@@ -16,14 +16,13 @@
 //! The `bench_recognize` binary runs this and writes `BENCH_recognize.json`
 //! so the numbers are committed alongside the code they measure.
 
-use hdc_figure::{render_sign, MarshallingSign, ViewSpec};
+use crate::frames::sign_stream;
+pub use crate::frames::{benchmark_pipeline, RESOLUTIONS};
 use hdc_raster::contour::{contour_centroid, trace_outer_contour};
 use hdc_raster::threshold::binarize;
 use hdc_raster::{label_components_bfs, Bitmap, Connectivity, GrayImage};
 use hdc_timeseries::{resample, TimeSeries};
-use hdc_vision::{
-    FrameScratch, PipelineConfig, RecognitionPipeline, SegmentationMode, MIN_CONTOUR_POINTS,
-};
+use hdc_vision::{FrameScratch, RecognitionPipeline, SegmentationMode, MIN_CONTOUR_POINTS};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -69,32 +68,6 @@ impl ResolutionResult {
     pub fn speedup(&self) -> f64 {
         self.optimized.fps() / self.seed.fps()
     }
-}
-
-/// The three resolutions the benchmark sweeps, smallest first.
-pub const RESOLUTIONS: [(u32, u32); 3] = [(320, 240), (640, 480), (1280, 960)];
-
-/// A view at the standard geometry with the camera scaled to `width`×`height`
-/// (focal length scales with width, so the silhouette covers the same
-/// fraction of the frame at every resolution).
-fn view_at(width: u32, height: u32, azimuth_deg: f64) -> ViewSpec {
-    let mut v = ViewSpec::paper_default(azimuth_deg, 5.0, 3.0);
-    v.width = width;
-    v.height = height;
-    v.focal_px = width as f64;
-    v
-}
-
-/// The frame stream cycled during measurement: all three signs over a few
-/// frontal-cone azimuths, so pruning cannot overfit to a single query.
-fn frame_stream(width: u32, height: u32) -> Vec<GrayImage> {
-    let mut frames = Vec::new();
-    for az in [0.0, 10.0, 20.0] {
-        for sign in MarshallingSign::ALL {
-            frames.push(render_sign(sign, &view_at(width, height, az)));
-        }
-    }
-    frames
 }
 
 /// The seed's `extract_signature`: fresh allocations and the
@@ -205,7 +178,7 @@ pub fn compare_at(
     min_frames: usize,
     min_seconds: f64,
 ) -> ResolutionResult {
-    let frames = frame_stream(width, height);
+    let frames = sign_stream(width, height);
     let seed = measure(&frames, min_frames, min_seconds, |f| {
         recognize_seed(pipeline, f).is_some()
     });
@@ -219,13 +192,6 @@ pub fn compare_at(
         seed,
         optimized,
     }
-}
-
-/// The calibrated pipeline both implementations share.
-pub fn benchmark_pipeline() -> RecognitionPipeline {
-    let mut p = RecognitionPipeline::new(PipelineConfig::default());
-    p.calibrate_from_views(&ViewSpec::paper_default(0.0, 5.0, 3.0));
-    p
 }
 
 /// Runs the full sweep over [`RESOLUTIONS`].
@@ -280,7 +246,7 @@ mod tests {
     #[test]
     fn seed_and_optimised_agree_on_decisions() {
         let pipeline = benchmark_pipeline();
-        let frames = frame_stream(320, 240);
+        let frames = sign_stream(320, 240);
         let mut scratch = FrameScratch::new();
         for (i, frame) in frames.iter().enumerate() {
             let seed = recognize_seed(&pipeline, frame);
@@ -300,7 +266,7 @@ mod tests {
     #[test]
     fn measure_counts_whole_cycles() {
         let pipeline = benchmark_pipeline();
-        let frames = frame_stream(320, 240);
+        let frames = sign_stream(320, 240);
         let mut scratch = FrameScratch::new();
         let t = measure(&frames, 1, 0.0, |f| {
             pipeline.recognize_with(&mut scratch, f).decision.is_some()

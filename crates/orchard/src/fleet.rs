@@ -10,6 +10,7 @@ use crate::map::OrchardMap;
 use crate::metrics::MissionStats;
 use crate::mission::{Mission, MissionConfig};
 use hdc_geometry::Vec2;
+use hdc_runtime::WorkPool;
 use serde::{Deserialize, Serialize};
 
 /// Fleet parameters.
@@ -52,26 +53,48 @@ impl FleetStats {
 /// the missions are independent and the fleet's wall-clock time is the
 /// slowest drone's (the makespan).
 ///
+/// Serial shorthand for [`run_fleet_with`] on a machine-sized pool.
+///
 /// # Panics
 /// Panics if `config.drone_count` is zero.
 pub fn run_fleet(config: FleetConfig, map: &OrchardMap, seed: u64) -> FleetStats {
+    run_fleet_with(&WorkPool::auto(), config, map, seed)
+}
+
+/// [`run_fleet`] with the drones simulated concurrently across a work pool.
+///
+/// Each drone's mission is a pure function of `(map chunk, seed + index)`,
+/// so the per-drone statistics — and every aggregate — are identical at
+/// every worker count, including the serial path.
+///
+/// # Panics
+/// Panics if `config.drone_count` is zero.
+pub fn run_fleet_with(
+    pool: &WorkPool,
+    config: FleetConfig,
+    map: &OrchardMap,
+    seed: u64,
+) -> FleetStats {
     assert!(config.drone_count > 0, "a fleet needs at least one drone");
     let tour = map.plan_tour(Vec2::ZERO);
     let k = config.drone_count as usize;
     let chunk = tour.len().div_ceil(k);
+    let chunks: Vec<&[u32]> = tour.chunks(chunk.max(1)).collect();
 
-    let mut per_drone = Vec::with_capacity(k);
-    for (i, ids) in tour.chunks(chunk.max(1)).enumerate() {
-        // this drone's map: everything outside its chunk pre-marked read
-        let mut sub_map = map.clone();
-        for trap in sub_map.traps_mut() {
-            if !ids.contains(&trap.id) {
-                trap.read = true;
+    let per_drone = pool.map_indexed(
+        &chunks,
+        |_| (),
+        |_, i, ids| {
+            // this drone's map: everything outside its chunk pre-marked read
+            let mut sub_map = map.clone();
+            for trap in sub_map.traps_mut() {
+                if !ids.contains(&trap.id) {
+                    trap.read = true;
+                }
             }
-        }
-        let mut mission = Mission::new(config.mission, sub_map, seed.wrapping_add(i as u64));
-        per_drone.push(mission.run());
-    }
+            Mission::new(config.mission, sub_map, seed.wrapping_add(i as u64)).run()
+        },
+    );
     FleetStats {
         makespan_s: per_drone
             .iter()
@@ -156,6 +179,23 @@ mod tests {
             1,
         );
         assert_eq!(stats.traps_read, 2);
+    }
+
+    #[test]
+    fn fleet_is_identical_at_every_worker_count() {
+        let map = OrchardMap::grid(4, 6, 4.0, 3.0);
+        let config = FleetConfig {
+            drone_count: 4,
+            mission: MissionConfig {
+                human_count: 2,
+                ..Default::default()
+            },
+        };
+        let serial = run_fleet_with(&WorkPool::new(1), config, &map, 5);
+        for workers in [2usize, 4] {
+            let parallel = run_fleet_with(&WorkPool::new(workers), config, &map, 5);
+            assert_eq!(parallel, serial, "fleet stats drifted at {workers} workers");
+        }
     }
 
     #[test]

@@ -38,7 +38,7 @@ mod mission;
 
 pub use agents::HumanActor;
 pub use events::{EventQueue, ScheduledEvent};
-pub use fleet::{run_fleet, FleetConfig, FleetStats};
+pub use fleet::{run_fleet, run_fleet_with, FleetConfig, FleetStats};
 pub use map::{FlyTrap, OrchardMap, Tree};
 pub use metrics::{MissionStats, NegotiationTally};
 pub use mission::{

@@ -5,13 +5,18 @@
 //! repo root, and compares every trace digest against the golden manifest
 //! in `tests/golden/scenario_digests.txt`.
 //!
+//! * `--threads N` sizes the work pool the matrix and sweep fan out over
+//!   (default: available parallelism). Scenarios are seed-deterministic and
+//!   independent, so every thread count reproduces the same digests — the
+//!   CI `scenarios` job runs with `--threads 2` to prove it;
 //! * `--bless` rewrites the golden manifest from the current run (do this
 //!   only after reviewing the behavioural diff);
 //! * any invariant failure or unblessed digest drift exits non-zero.
 
+use hdc_runtime::{available_workers, threads_from_args, WorkPool};
 use hdc_sim::scenario::{format_manifest, golden_path, parse_manifest};
-use hdc_sim::sweep::dead_angle_sweep;
-use hdc_sim::{build_matrix, mission_cases, run_scenario, Grade};
+use hdc_sim::sweep::dead_angle_sweep_with;
+use hdc_sim::{build_matrix, mission_cases, run_matrix_with, Grade};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
@@ -20,28 +25,30 @@ fn json_escape(s: &str) -> String {
 }
 
 fn main() -> ExitCode {
-    let bless = std::env::args().any(|a| a == "--bless");
+    let args: Vec<String> = std::env::args().collect();
+    let bless = args.iter().any(|a| a == "--bless");
+    let pool = WorkPool::with_threads(threads_from_args(&args));
 
     let matrix = build_matrix();
-    println!("running {} scenarios...", matrix.len());
-    let results: Vec<_> = matrix
-        .iter()
-        .map(|s| {
-            let r = run_scenario(s);
-            println!(
-                "  {:<36} {:<8} {:<9} {} ({:.1}s)",
-                r.name,
-                r.outcome.to_string().to_lowercase(),
-                r.grade.label(),
-                r.digest,
-                r.duration_s
-            );
-            for v in &r.violations {
-                println!("      VIOLATION: {v}");
-            }
-            r
-        })
-        .collect();
+    println!(
+        "running {} scenarios on {} worker(s)...",
+        matrix.len(),
+        pool.workers()
+    );
+    let results = run_matrix_with(&pool, &matrix);
+    for r in &results {
+        println!(
+            "  {:<36} {:<8} {:<9} {} ({:.1}s)",
+            r.name,
+            r.outcome.to_string().to_lowercase(),
+            r.grade.label(),
+            r.digest,
+            r.duration_s
+        );
+        for v in &r.violations {
+            println!("      VIOLATION: {v}");
+        }
+    }
 
     println!("running mission cases...");
     let missions = mission_cases();
@@ -50,7 +57,7 @@ fn main() -> ExitCode {
     }
 
     println!("running dead-angle sweep...");
-    let sweep = dead_angle_sweep(5);
+    let sweep = dead_angle_sweep_with(&pool, 5);
 
     // --- golden manifest rows: sessions then missions, in matrix order ---
     let mut rows: Vec<(String, String, String)> = results
@@ -76,6 +83,12 @@ fn main() -> ExitCode {
     // --- RESULTS_scenarios.json (hand-built: the vendored serde is a stub) ---
     let mut json = String::new();
     let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"execution\": {{\"threads\": {}, \"available_parallelism\": {}}},",
+        pool.workers(),
+        available_workers()
+    );
     let _ = writeln!(json, "  \"scenario_count\": {},", results.len());
     let _ = writeln!(json, "  \"pass\": {pass},");
     let _ = writeln!(json, "  \"degrade\": {degrade},");

@@ -28,5 +28,8 @@ pub mod sweep;
 pub mod trace;
 
 pub use fault::{FaultKind, FaultPlan, PlanFaults};
-pub use scenario::{build_matrix, mission_cases, run_scenario, Grade, Scenario, ScenarioResult};
+pub use scenario::{
+    build_matrix, mission_cases, run_matrix_with, run_scenario, Grade, Scenario, ScenarioResult,
+};
+pub use sweep::{dead_angle_sweep, dead_angle_sweep_with};
 pub use trace::{canonical_trace, digest_hex, fnv1a64};

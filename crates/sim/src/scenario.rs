@@ -106,6 +106,19 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
     grade_report(scenario, &report)
 }
 
+/// Runs a scenario set across a work pool, results in matrix order.
+///
+/// Scenarios are independent and seed-deterministic, so this is a pure
+/// fan-out: the result vector — digests included — is byte-identical to the
+/// serial `scenarios.iter().map(run_scenario)` at every worker count (the
+/// golden manifest pins exactly that).
+pub fn run_matrix_with(
+    pool: &hdc_runtime::WorkPool,
+    scenarios: &[Scenario],
+) -> Vec<ScenarioResult> {
+    pool.map(scenarios, run_scenario)
+}
+
 /// Grades a finished session report against a scenario's expectations.
 pub fn grade_report(scenario: &Scenario, report: &SessionReport) -> ScenarioResult {
     let violations = check_invariants(report);

@@ -8,7 +8,8 @@
 
 use hdc_figure::{render_sign, MarshallingSign, ViewSpec};
 use hdc_raster::noise;
-use hdc_vision::{PipelineConfig, RecognitionPipeline};
+use hdc_runtime::WorkPool;
+use hdc_vision::{FrameScratch, PipelineConfig, RecognitionPipeline};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -37,43 +38,94 @@ impl SweepPoint {
     }
 }
 
-/// Sweeps azimuth × noise intensity with the pipeline calibrated at the
-/// paper's canonical 0° view. Deterministic for a given `seed`.
-pub fn dead_angle_sweep(seed: u64) -> Vec<SweepPoint> {
-    let mut pipeline = RecognitionPipeline::new(PipelineConfig::default());
-    pipeline.calibrate_from_views(&ViewSpec::paper_default(0.0, 5.0, 3.0));
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut points = Vec::new();
-    for sigma in [0.0, 15.0, 40.0] {
-        for az_step in 0..=12 {
-            let azimuth_deg = f64::from(az_step) * 15.0;
-            let mut correct = 0;
-            let mut total = 0;
-            for sign in MarshallingSign::ALL {
-                let mut frame = render_sign(sign, &ViewSpec::paper_default(azimuth_deg, 5.0, 3.0));
-                if sigma > 0.0 {
-                    noise::add_gaussian(&mut frame, sigma, &mut rng);
-                }
-                let result = pipeline.recognize(&frame);
-                total += 1;
-                if result.decision.as_deref() == Some(sign.label()) {
-                    correct += 1;
-                }
-            }
-            points.push(SweepPoint {
-                azimuth_deg,
-                sigma,
-                correct,
-                total,
-            });
+/// The noise levels of the sweep, clean first.
+const SIGMAS: [f64; 3] = [0.0, 15.0, 40.0];
+/// Azimuth steps: 0°..180° in 15° increments.
+const AZ_STEPS: u32 = 12;
+
+/// The RNG seed of one grid point, derived from the sweep seed by a
+/// SplitMix64-style mix so every point owns an independent noise stream.
+/// Point independence is what lets the grid fan out over a pool with the
+/// exact same numbers as the serial sweep.
+fn point_seed(seed: u64, sigma_idx: usize, az_step: u32) -> u64 {
+    let mut z = seed
+        ^ (sigma_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ u64::from(az_step).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Evaluates one grid point: all signs at one azimuth under one noise level,
+/// through caller-provided scratch. Pure function of `(seed, sigma, azimuth)`.
+fn sweep_point(
+    pipeline: &RecognitionPipeline,
+    scratch: &mut FrameScratch,
+    seed: u64,
+    sigma_idx: usize,
+    az_step: u32,
+) -> SweepPoint {
+    let sigma = SIGMAS[sigma_idx];
+    let azimuth_deg = f64::from(az_step) * 15.0;
+    let mut rng = SmallRng::seed_from_u64(point_seed(seed, sigma_idx, az_step));
+    let mut correct = 0;
+    let mut total = 0;
+    for sign in MarshallingSign::ALL {
+        let mut frame = render_sign(sign, &ViewSpec::paper_default(azimuth_deg, 5.0, 3.0));
+        if sigma > 0.0 {
+            noise::add_gaussian(&mut frame, sigma, &mut rng);
+        }
+        let result = pipeline.recognize_with(scratch, &frame);
+        total += 1;
+        if result.decision == Some(sign.label()) {
+            correct += 1;
         }
     }
-    points
+    SweepPoint {
+        azimuth_deg,
+        sigma,
+        correct,
+        total,
+    }
+}
+
+/// Sweeps azimuth × noise intensity with the pipeline calibrated at the
+/// paper's canonical 0° view. Deterministic for a given `seed`; serial
+/// shorthand for [`dead_angle_sweep_with`] on a one-worker pool.
+pub fn dead_angle_sweep(seed: u64) -> Vec<SweepPoint> {
+    dead_angle_sweep_with(&WorkPool::new(1), seed)
+}
+
+/// [`dead_angle_sweep`] fanned out over a work pool: grid points carry
+/// independently derived noise streams, so the result is identical at every
+/// worker count (and to the serial sweep).
+pub fn dead_angle_sweep_with(pool: &WorkPool, seed: u64) -> Vec<SweepPoint> {
+    let mut pipeline = RecognitionPipeline::new(PipelineConfig::default());
+    pipeline.calibrate_from_views(&ViewSpec::paper_default(0.0, 5.0, 3.0));
+    let grid: Vec<(usize, u32)> = (0..SIGMAS.len())
+        .flat_map(|s| (0..=AZ_STEPS).map(move |az| (s, az)))
+        .collect();
+    pool.map_indexed(
+        &grid,
+        |_| FrameScratch::new(),
+        |scratch, _, &(sigma_idx, az_step)| {
+            sweep_point(&pipeline, scratch, seed, sigma_idx, az_step)
+        },
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sweep_is_identical_at_every_worker_count() {
+        let serial = dead_angle_sweep(5);
+        for workers in [2usize, 4] {
+            let parallel = dead_angle_sweep_with(&WorkPool::new(workers), 5);
+            assert_eq!(parallel, serial, "{workers}-worker sweep drifted");
+        }
+    }
 
     #[test]
     fn clean_sweep_shows_the_dead_angle_cliff() {

@@ -1,0 +1,299 @@
+//! Multi-core recognition: batches and sustained multi-stream serving.
+//!
+//! [`RecognitionEngine`] owns one immutable [`RecognitionPipeline`] shared
+//! across the workers of a [`WorkPool`], plus one [`FrameScratch`] per
+//! worker, and serves two shapes of load:
+//!
+//! * [`RecognitionEngine::process_batch`] — N independent frames fanned out
+//!   over the pool, results in input order. The determinism contract is
+//!   inherited from the pool and from `recognize_with` (whose output does
+//!   not depend on scratch history): the returned vector is **byte-identical
+//!   at every worker count**, including the serial path.
+//! * [`RecognitionEngine::run_streams`] — S simulated camera streams served
+//!   concurrently for a wall-clock window, the shape of a drone fleet
+//!   feeding one ground station. Each stream is an independent task cycling
+//!   its own frame sequence; the report carries per-stream and aggregate
+//!   throughput.
+//!
+//! Results are [`Recognition`] values: the owned, *timing-free* projection
+//! of [`FrameResult`]. Dropping the wall-clock stage timings is what makes
+//! batch output comparable across runs and worker counts.
+
+use crate::pipeline::{FrameResult, FrameScratch, RecognitionPipeline};
+use hdc_raster::GrayImage;
+use hdc_runtime::WorkPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// The owned, deterministic outcome of recognising one frame in a batch:
+/// everything in [`FrameResult`] except the wall-clock timings (which would
+/// make byte-identity across worker counts meaningless) and the borrowed
+/// lifetimes (which would pin the batch to the engine borrow).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recognition {
+    /// The accepted sign label, or `None` when nothing matched.
+    pub decision: Option<String>,
+    /// Exact distance of the best database match regardless of threshold.
+    pub best_distance: Option<f64>,
+    /// Label of the best database match regardless of threshold.
+    pub best_label: Option<String>,
+    /// Exact distance to the best template of a different label.
+    pub runner_up: Option<f64>,
+    /// Failure reason when no signature could be extracted.
+    pub failure: Option<crate::pipeline::FrameFailure>,
+}
+
+impl Recognition {
+    /// Projects a borrowed per-frame result into its owned, timing-free
+    /// batch form.
+    pub fn from_frame_result(r: &FrameResult<'_>) -> Self {
+        Recognition {
+            decision: r.decision.map(str::to_owned),
+            best_distance: r.best.as_ref().map(|b| b.distance),
+            best_label: r.best.as_ref().map(|b| b.label.to_owned()),
+            runner_up: r.runner_up,
+            failure: r.failure,
+        }
+    }
+
+    /// Whether the frame produced an accepted decision.
+    pub fn decided(&self) -> bool {
+        self.decision.is_some()
+    }
+}
+
+/// Throughput of one simulated camera stream over the shared wall-clock
+/// window of a [`RecognitionEngine::run_streams`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Frames this stream processed during the window.
+    pub frames: usize,
+    /// Frames that produced an accepted decision.
+    pub decided: usize,
+}
+
+/// The outcome of a sustained multi-stream run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiStreamReport {
+    /// Per-stream statistics, in stream order.
+    pub per_stream: Vec<StreamStats>,
+    /// Wall-clock seconds of the whole window.
+    pub seconds: f64,
+    /// Worker count that served the streams.
+    pub workers: usize,
+}
+
+impl MultiStreamReport {
+    /// Total frames across all streams.
+    pub fn total_frames(&self) -> usize {
+        self.per_stream.iter().map(|s| s.frames).sum()
+    }
+
+    /// Aggregate frames per second across all streams.
+    pub fn aggregate_fps(&self) -> f64 {
+        self.total_frames() as f64 / self.seconds
+    }
+
+    /// Sustained frames per second seen by one stream's consumer.
+    pub fn stream_fps(&self, stream: usize) -> f64 {
+        self.per_stream[stream].frames as f64 / self.seconds
+    }
+}
+
+/// A multi-core recognition engine: one shared immutable pipeline, one
+/// scratch per worker. See the module docs.
+#[derive(Debug, Clone)]
+pub struct RecognitionEngine {
+    pipeline: RecognitionPipeline,
+    pool: WorkPool,
+}
+
+impl RecognitionEngine {
+    /// An engine over `pipeline` with `threads` workers (`None` → one per
+    /// available hardware thread).
+    pub fn new(pipeline: RecognitionPipeline, threads: Option<usize>) -> Self {
+        RecognitionEngine {
+            pipeline,
+            pool: WorkPool::with_threads(threads),
+        }
+    }
+
+    /// The shared pipeline.
+    pub fn pipeline(&self) -> &RecognitionPipeline {
+        &self.pipeline
+    }
+
+    /// Worker count of the underlying pool.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Recognises one frame into the owned batch form (the serial building
+    /// block both [`RecognitionEngine::process_batch`] and external
+    /// baselines share, so equivalence tests compare like with like).
+    pub fn recognize_one(
+        pipeline: &RecognitionPipeline,
+        scratch: &mut FrameScratch,
+        frame: &GrayImage,
+    ) -> Recognition {
+        Recognition::from_frame_result(&pipeline.recognize_with(scratch, frame))
+    }
+
+    /// Recognises every frame of the batch across the pool, results in
+    /// input order — byte-identical at every worker count.
+    pub fn process_batch(&self, frames: &[GrayImage]) -> Vec<Recognition> {
+        self.pool.map_indexed(
+            frames,
+            |_| FrameScratch::new(),
+            |scratch, _, frame| Self::recognize_one(&self.pipeline, scratch, frame),
+        )
+    }
+
+    /// The serial reference path: the same frames through one reused
+    /// scratch on the calling thread (the baseline every scaling number in
+    /// `BENCH_engine.json` is measured against).
+    pub fn process_serial(&self, frames: &[GrayImage]) -> Vec<Recognition> {
+        let mut scratch = FrameScratch::new();
+        frames
+            .iter()
+            .map(|f| Self::recognize_one(&self.pipeline, &mut scratch, f))
+            .collect()
+    }
+
+    /// Serves `streams` concurrently until every stream has processed at
+    /// least `min_frames_per_stream` frames *and* `min_seconds` of wall
+    /// clock have elapsed, cycling each stream's frames.
+    ///
+    /// Streams are independent tasks scheduled over the pool's workers; a
+    /// stream that reaches both floors stops, so slower streams keep their
+    /// workers. One untimed warm-up frame per stream lets scratch buffers
+    /// reach steady state before the window opens.
+    ///
+    /// # Panics
+    /// Panics if any stream is empty.
+    pub fn run_streams(
+        &self,
+        streams: &[Vec<GrayImage>],
+        min_frames_per_stream: usize,
+        min_seconds: f64,
+    ) -> MultiStreamReport {
+        assert!(
+            streams.iter().all(|s| !s.is_empty()),
+            "every stream needs at least one frame"
+        );
+        let stream_ids: Vec<usize> = (0..streams.len()).collect();
+        // Warm-up outside the timed window (serial: touches each resolution
+        // once so first-frame growth is not billed to any stream).
+        let mut warm = FrameScratch::new();
+        for s in streams {
+            Self::recognize_one(&self.pipeline, &mut warm, &s[0]);
+        }
+
+        let decided_total = AtomicUsize::new(0); // aggregate sanity counter
+        let start = Instant::now();
+        let per_stream = self.pool.map_indexed(
+            &stream_ids,
+            |_| FrameScratch::new(),
+            |scratch, _, &sid| {
+                let frames = &streams[sid];
+                let mut stats = StreamStats {
+                    frames: 0,
+                    decided: 0,
+                };
+                loop {
+                    for frame in frames {
+                        if Self::recognize_one(&self.pipeline, scratch, frame).decided() {
+                            stats.decided += 1;
+                        }
+                        stats.frames += 1;
+                    }
+                    if stats.frames >= min_frames_per_stream
+                        && start.elapsed().as_secs_f64() >= min_seconds
+                    {
+                        break;
+                    }
+                }
+                decided_total.fetch_add(stats.decided, Ordering::Relaxed);
+                stats
+            },
+        );
+        MultiStreamReport {
+            per_stream,
+            seconds: start.elapsed().as_secs_f64(),
+            workers: self.workers(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use hdc_figure::{render_sign, MarshallingSign, ViewSpec};
+
+    fn engine(threads: usize) -> RecognitionEngine {
+        let mut p = RecognitionPipeline::new(PipelineConfig::default());
+        p.calibrate_from_views(&ViewSpec::paper_default(0.0, 5.0, 3.0));
+        RecognitionEngine::new(p, Some(threads))
+    }
+
+    fn mixed_frames() -> Vec<GrayImage> {
+        let mut frames = Vec::new();
+        for az in [0.0, 15.0, 40.0, 90.0] {
+            for sign in MarshallingSign::ALL {
+                frames.push(render_sign(sign, &ViewSpec::paper_default(az, 5.0, 3.0)));
+            }
+        }
+        frames.push(GrayImage::new(64, 64)); // failure case rides along
+        frames
+    }
+
+    #[test]
+    fn batch_decisions_match_the_pipeline() {
+        let e = engine(2);
+        let frames = mixed_frames();
+        let batch = e.process_batch(&frames);
+        assert_eq!(batch.len(), frames.len());
+        for (frame, got) in frames.iter().zip(&batch) {
+            let want = e.pipeline().recognize(frame);
+            assert_eq!(got.decision, want.decision);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(engine(4).process_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn streams_report_all_streams() {
+        let e = engine(2);
+        let frame = render_sign(
+            MarshallingSign::Yes,
+            &ViewSpec::paper_default(0.0, 5.0, 3.0),
+        );
+        let streams = vec![vec![frame.clone()], vec![frame]];
+        let report = e.run_streams(&streams, 3, 0.0);
+        assert_eq!(report.per_stream.len(), 2);
+        assert_eq!(report.workers, 2);
+        for s in 0..2 {
+            assert!(report.per_stream[s].frames >= 3);
+            assert_eq!(
+                report.per_stream[s].decided, report.per_stream[s].frames,
+                "frontal Yes frames must all decide"
+            );
+            assert!(report.stream_fps(s) > 0.0);
+        }
+        assert!(report.aggregate_fps() > 0.0);
+        assert_eq!(
+            report.total_frames(),
+            report.per_stream.iter().map(|s| s.frames).sum::<usize>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn empty_stream_rejected() {
+        engine(1).run_streams(&[Vec::new()], 1, 0.0);
+    }
+}

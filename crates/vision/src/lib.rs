@@ -36,12 +36,14 @@
 
 pub mod classifiers;
 pub mod dynamic;
+mod engine;
 mod filter;
 mod moments;
 mod pipeline;
 mod signature;
 mod timing;
 
+pub use engine::{MultiStreamReport, Recognition, RecognitionEngine, StreamStats};
 pub use filter::DecisionFilter;
 
 pub use moments::{central_moments, hu_moments, RawMoments};
