@@ -14,6 +14,7 @@ pub mod experiments;
 pub mod frames;
 pub mod report;
 pub mod scaling;
+pub mod streams;
 pub mod throughput;
 
 pub use experiments::{all_experiments, run_experiment, ExperimentId};

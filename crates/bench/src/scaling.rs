@@ -322,6 +322,7 @@ mod tests {
             per_stream: vec![hdc_vision::StreamStats {
                 frames: 10,
                 decided: 10,
+                gate: Default::default(),
             }],
             seconds: 1.0,
             workers: 2,

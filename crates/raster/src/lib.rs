@@ -9,6 +9,8 @@
 //! * connected-component labelling ([`components`]),
 //! * Moore-neighbour [`contour`] tracing,
 //! * binary [`morphology`] (erode / dilate / open / close),
+//! * tiled frame differencing for temporal-coherence gating ([`diff`]),
+//! * FNV-1a/64 [`digest`]s of raw byte slices (frame identity, golden traces),
 //! * sensor [`noise`] models,
 //! * portable-anymap [`io`] (PGM) plus ASCII-art dumps for debugging.
 //!
@@ -30,6 +32,8 @@
 
 pub mod components;
 pub mod contour;
+pub mod diff;
+pub mod digest;
 pub mod draw;
 pub mod image;
 pub mod io;

@@ -2,6 +2,7 @@
 
 use hdc_geometry::Vec2;
 use hdc_raster::contour::{contour_perimeter, trace_outer_contour};
+use hdc_raster::diff;
 use hdc_raster::io::{decode_pgm, encode_pgm};
 use hdc_raster::morphology::{close, dilate, dilate_reference, erode, erode_reference, open};
 use hdc_raster::threshold::{binarize, otsu_threshold};
@@ -151,5 +152,67 @@ proptest! {
         let per = contour_perimeter(&contour);
         let circ = std::f64::consts::TAU * r;
         prop_assert!((per - circ).abs() / circ < 0.2, "perimeter {} vs {}", per, circ);
+    }
+}
+
+fn gray_pair() -> impl Strategy<Value = (GrayImage, GrayImage)> {
+    (2u32..24, 2u32..24).prop_flat_map(|(w, h)| {
+        let n = (w * h) as usize;
+        (
+            prop::collection::vec(any::<u8>(), n),
+            prop::collection::vec(any::<u8>(), n),
+        )
+            .prop_map(move |(da, db)| {
+                let mut a = GrayImage::new(w, h);
+                a.pixels_mut().copy_from_slice(&da);
+                let mut b = GrayImage::new(w, h);
+                b.pixels_mut().copy_from_slice(&db);
+                (a, b)
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn tiled_sad_matches_whole_frame_oracle((a, b) in gray_pair(), tile in 1u32..9) {
+        let mut tiles = Vec::new();
+        let summary = diff::tile_sad_into(&a, &b, tile, &mut tiles);
+        prop_assert_eq!(summary.total, diff::frame_sad(&a, &b));
+        prop_assert_eq!(summary.total, tiles.iter().sum::<u64>());
+        prop_assert_eq!(summary.max, tiles.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(tiles.len(), summary.tile_count());
+    }
+
+    #[test]
+    fn each_tile_matches_a_naive_per_tile_oracle((a, b) in gray_pair(), tile in 1u32..9) {
+        let mut tiles = Vec::new();
+        let summary = diff::tile_sad_into(&a, &b, tile, &mut tiles);
+        for ty in 0..summary.tiles_y {
+            for tx in 0..summary.tiles_x {
+                let mut want = 0u64;
+                for y in (ty * tile)..((ty + 1) * tile).min(a.height()) {
+                    for x in (tx * tile)..((tx + 1) * tile).min(a.width()) {
+                        want += u64::from(a.get(x, y).unwrap().abs_diff(b.get(x, y).unwrap()));
+                    }
+                }
+                prop_assert_eq!(tiles[(ty * summary.tiles_x + tx) as usize], want);
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_sad_is_a_lower_bound((a, b) in gray_pair(), factor in 1u32..9) {
+        let (mut ca, mut cb) = (Vec::new(), Vec::new());
+        let dims_a = diff::box_downsample_into(&a, factor, &mut ca);
+        let dims_b = diff::box_downsample_into(&b, factor, &mut cb);
+        prop_assert_eq!(dims_a, dims_b);
+        prop_assert!(diff::coarse_sad(&ca, &cb) <= diff::frame_sad(&a, &b));
+    }
+
+    #[test]
+    fn sad_is_symmetric_and_zero_on_self((a, b) in gray_pair()) {
+        prop_assert_eq!(diff::frame_sad(&a, &b), diff::frame_sad(&b, &a));
+        prop_assert_eq!(diff::frame_sad(&a, &a), 0);
+        prop_assert_eq!(diff::frame_sad(&b, &b), 0);
     }
 }

@@ -20,15 +20,13 @@ pub fn canonical_trace(log: &EventLog) -> String {
 }
 
 /// FNV-1a 64-bit hash of a string.
+///
+/// Thin string-typed wrapper over the shared byte-slice digest in
+/// [`hdc_raster::digest`] (the same digest the vision layer's strict
+/// temporal gate uses for frame identity), kept here so golden-digest
+/// callers keep their historical signature.
 pub fn fnv1a64(text: &str) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    for byte in text.as_bytes() {
-        h ^= u64::from(*byte);
-        h = h.wrapping_mul(PRIME);
-    }
-    h
+    hdc_raster::digest::fnv1a64(text.as_bytes())
 }
 
 /// The 16-hex-character digest of a canonical trace.

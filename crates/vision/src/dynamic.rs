@@ -11,7 +11,7 @@
 //! those scalars is what gets analysed — oscillation means waving, a flat
 //! series means a held static sign.
 
-use hdc_raster::{largest_component, Bitmap, Connectivity};
+use hdc_raster::{largest_component, largest_component_with, Bitmap, Connectivity, LabelScratch};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -27,8 +27,15 @@ pub struct FrameFeatures {
 /// Extracts the dynamic-gesture features from a frame's mask.
 ///
 /// Returns `None` when no usable blob exists.
+///
+/// Allocates labelling buffers per call; the steady-state loop inside
+/// [`DynamicRecognizer::push`] uses the scratch-reusing equivalent instead.
 pub fn frame_features(mask: &Bitmap) -> Option<FrameFeatures> {
     let (_, comp) = largest_component(mask, Connectivity::Eight)?;
+    features_of(&comp)
+}
+
+fn features_of(comp: &hdc_raster::Component) -> Option<FrameFeatures> {
     let w = comp.width() as f64;
     let h = comp.height() as f64;
     if h <= 0.0 || w <= 0.0 {
@@ -102,6 +109,13 @@ impl Default for DynamicConfig {
 pub struct DynamicRecognizer {
     config: DynamicConfig,
     window: VecDeque<(f64, FrameFeatures)>,
+    /// Largest-component output mask, reused across frames.
+    blob: Bitmap,
+    /// Component-labelling buffers, reused across frames.
+    label: LabelScratch,
+    /// Aspect series of the window, rebuilt (without reallocating) per
+    /// decision.
+    aspects: Vec<f64>,
 }
 
 impl DynamicRecognizer {
@@ -110,6 +124,9 @@ impl DynamicRecognizer {
         DynamicRecognizer {
             config,
             window: VecDeque::new(),
+            blob: Bitmap::new(1, 1),
+            label: LabelScratch::new(),
+            aspects: Vec::new(),
         }
     }
 
@@ -136,8 +153,15 @@ impl DynamicRecognizer {
     /// Pushes a timestamped frame; frames older than the window fall out.
     ///
     /// Returns whether usable features were extracted.
+    ///
+    /// Labelling runs through the recogniser's reused scratch buffers, so
+    /// once the window and buffers have reached their high-water marks the
+    /// per-frame loop performs no heap allocation (pinned by the
+    /// `zero_alloc_dynamic` test).
     pub fn push(&mut self, t: f64, mask: &Bitmap) -> bool {
-        let Some(f) = frame_features(mask) else {
+        let comp =
+            largest_component_with(mask, Connectivity::Eight, &mut self.blob, &mut self.label);
+        let Some(f) = comp.as_ref().and_then(features_of) else {
             return false;
         };
         self.window.push_back((t, f));
@@ -178,16 +202,23 @@ impl DynamicRecognizer {
     }
 
     /// The decision over the current window.
-    pub fn decision(&self) -> DynamicDecision {
+    ///
+    /// Takes `&mut self` only to reuse the internal aspect buffer (the
+    /// window itself is not modified), keeping repeated decisions
+    /// allocation-free in steady state.
+    pub fn decision(&mut self) -> DynamicDecision {
         if self.window.len() < self.config.min_frames {
             return DynamicDecision::Inconclusive;
         }
-        let aspects: Vec<f64> = self.window.iter().map(|(_, f)| f.aspect).collect();
+        self.aspects.clear();
+        self.aspects
+            .extend(self.window.iter().map(|(_, f)| f.aspect));
+        let aspects = &self.aspects;
         let mean = aspects.iter().sum::<f64>() / aspects.len() as f64;
         let sd = (aspects.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>()
             / aspects.len() as f64)
             .sqrt();
-        let cycles = Self::cycles(&aspects, self.config.min_amplitude / 2.0);
+        let cycles = Self::cycles(aspects, self.config.min_amplitude / 2.0);
         if cycles >= self.config.min_cycles {
             return DynamicDecision::WaveOff;
         }

@@ -20,6 +20,7 @@
 //! batch output comparable across runs and worker counts.
 
 use crate::pipeline::{FrameResult, FrameScratch, RecognitionPipeline};
+use crate::temporal::{GateCounters, StreamRecognizer, TemporalConfig};
 use hdc_raster::GrayImage;
 use hdc_runtime::WorkPool;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -70,6 +71,9 @@ pub struct StreamStats {
     pub frames: usize,
     /// Frames that produced an accepted decision.
     pub decided: usize,
+    /// How the temporal gate resolved this stream's frames (all
+    /// `full_runs` when gating is off).
+    pub gate: GateCounters,
 }
 
 /// The outcome of a sustained multi-stream run.
@@ -97,6 +101,13 @@ impl MultiStreamReport {
     /// Sustained frames per second seen by one stream's consumer.
     pub fn stream_fps(&self, stream: usize) -> f64 {
         self.per_stream[stream].frames as f64 / self.seconds
+    }
+
+    /// Aggregate gate counters across all streams.
+    pub fn gate_totals(&self) -> GateCounters {
+        self.per_stream
+            .iter()
+            .fold(GateCounters::default(), |acc, s| acc.plus(&s.gate))
     }
 }
 
@@ -177,6 +188,35 @@ impl RecognitionEngine {
         min_frames_per_stream: usize,
         min_seconds: f64,
     ) -> MultiStreamReport {
+        self.run_streams_gated(
+            streams,
+            min_frames_per_stream,
+            min_seconds,
+            TemporalConfig::off(),
+        )
+    }
+
+    /// [`RecognitionEngine::run_streams`] with a temporal-coherence gate:
+    /// each worker owns one [`StreamRecognizer`] (reset at every stream
+    /// boundary, so cached decisions never leak between streams) next to
+    /// its [`FrameScratch`], and the per-stream stats record how the gate
+    /// resolved each frame.
+    ///
+    /// In [`crate::temporal::GateMode::Strict`] the gate only reuses
+    /// byte-identical frames, so decisions — and therefore the
+    /// `decided` counts — are exactly those of the ungated path at every
+    /// worker count (the engine's determinism contract; pinned by the
+    /// `temporal_gate` tests via [`RecognitionEngine::process_streams`]).
+    ///
+    /// # Panics
+    /// Panics if any stream is empty.
+    pub fn run_streams_gated(
+        &self,
+        streams: &[Vec<GrayImage>],
+        min_frames_per_stream: usize,
+        min_seconds: f64,
+        gate: TemporalConfig,
+    ) -> MultiStreamReport {
         assert!(
             streams.iter().all(|s| !s.is_empty()),
             "every stream needs at least one frame"
@@ -193,16 +233,22 @@ impl RecognitionEngine {
         let start = Instant::now();
         let per_stream = self.pool.map_indexed(
             &stream_ids,
-            |_| FrameScratch::new(),
-            |scratch, _, &sid| {
+            |_| (FrameScratch::new(), StreamRecognizer::new(gate)),
+            |(scratch, recognizer), _, &sid| {
                 let frames = &streams[sid];
+                recognizer.reset(); // per-stream cache isolation
+                let counters_before = recognizer.counters();
                 let mut stats = StreamStats {
                     frames: 0,
                     decided: 0,
+                    gate: GateCounters::default(),
                 };
                 loop {
                     for frame in frames {
-                        if Self::recognize_one(&self.pipeline, scratch, frame).decided() {
+                        if recognizer
+                            .recognize(&self.pipeline, scratch, frame)
+                            .decided()
+                        {
                             stats.decided += 1;
                         }
                         stats.frames += 1;
@@ -213,6 +259,7 @@ impl RecognitionEngine {
                         break;
                     }
                 }
+                stats.gate = recognizer.counters().since(&counters_before);
                 decided_total.fetch_add(stats.decided, Ordering::Relaxed);
                 stats
             },
@@ -222,6 +269,44 @@ impl RecognitionEngine {
             seconds: start.elapsed().as_secs_f64(),
             workers: self.workers(),
         }
+    }
+
+    /// Deterministically processes every stream's frame sequence `passes`
+    /// times through a fresh per-stream [`StreamRecognizer`], returning
+    /// every frame's [`Recognition`] in order — the wall-clock-free
+    /// counterpart of [`RecognitionEngine::run_streams_gated`] that
+    /// equivalence and determinism tests compare across gate modes and
+    /// worker counts. Because the recogniser (the only stateful part) is
+    /// per-stream, the output is byte-identical at every worker count in
+    /// *every* gate mode; in strict (and off) mode it is additionally
+    /// byte-identical to the ungated serial path.
+    ///
+    /// # Panics
+    /// Panics if any stream is empty.
+    pub fn process_streams(
+        &self,
+        streams: &[Vec<GrayImage>],
+        passes: usize,
+        gate: TemporalConfig,
+    ) -> Vec<Vec<Recognition>> {
+        assert!(
+            streams.iter().all(|s| !s.is_empty()),
+            "every stream needs at least one frame"
+        );
+        self.pool.map_indexed(
+            streams,
+            |_| FrameScratch::new(),
+            |scratch, _, frames| {
+                let mut recognizer = StreamRecognizer::new(gate);
+                let mut out = Vec::with_capacity(frames.len() * passes);
+                for _ in 0..passes {
+                    for frame in frames {
+                        out.push(recognizer.recognize(&self.pipeline, scratch, frame).clone());
+                    }
+                }
+                out
+            },
+        )
     }
 }
 

@@ -41,6 +41,7 @@ mod filter;
 mod moments;
 mod pipeline;
 mod signature;
+pub mod temporal;
 mod timing;
 
 pub use engine::{MultiStreamReport, Recognition, RecognitionEngine, StreamStats};

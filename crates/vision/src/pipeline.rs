@@ -164,7 +164,7 @@ pub struct FrameResult<'a> {
 }
 
 impl<'a> FrameResult<'a> {
-    fn failed(timings: StageTimings, failure: FrameFailure) -> Self {
+    pub(crate) fn failed(timings: StageTimings, failure: FrameFailure) -> Self {
         FrameResult {
             decision: None,
             best: None,
@@ -263,7 +263,7 @@ impl RecognitionPipeline {
     /// ([`RecognitionPipeline::signature_of`], which discards the timings)
     /// and the timed recognition path. On success the signature series is in
     /// `scratch.sig` and its metadata is returned.
-    fn signature_stages(
+    pub(crate) fn signature_stages(
         &self,
         frame: &GrayImage,
         scratch: &mut FrameScratch,
@@ -442,7 +442,20 @@ impl RecognitionPipeline {
             Ok(stats) => stats,
             Err(failure) => return FrameResult::failed(timings, failure),
         };
+        self.classify_pass(scratch, stats, timings)
+    }
 
+    /// The back half of [`RecognitionPipeline::recognize_with`]: SAX search
+    /// over the signature already sitting in `scratch.sig`, then the
+    /// acceptance-threshold + ambiguity-ratio decision. Split out so the
+    /// temporal gate ([`crate::temporal`]) can recompute a signature and
+    /// still skip this stage when the signature is within its cached-ε.
+    pub(crate) fn classify_pass<'a>(
+        &'a self,
+        scratch: &mut FrameScratch,
+        stats: SignatureStats,
+        mut timings: StageTimings,
+    ) -> FrameResult<'a> {
         let t = Instant::now();
         let matched = self
             .index

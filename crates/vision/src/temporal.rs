@@ -1,0 +1,714 @@
+//! Temporal-coherence gating for stream recognition.
+//!
+//! The paper's viability argument (Section IV) needs sustained ≥30 fps
+//! recognition of a *mostly static* marshaller: a held sign produces long
+//! runs of nearly identical frames, yet the ungated stream path pays the
+//! full silhouette→signature→SAX pipeline on every one of them. This module
+//! skips that recompute when the input provably (or tolerably) hasn't
+//! changed, via a per-stream [`StreamRecognizer`] that caches the
+//! **reference frame** of its last fully computed [`Recognition`] and
+//! answers each new frame through a ladder of increasingly expensive
+//! checks:
+//!
+//! 1. **Strict gate** ([`GateMode::Strict`]): reuse the cached decision only
+//!    when the frame is *byte-identical* to the reference — identity is
+//!    hash-then-verify: a sparse fingerprint (the shared FNV-1a/64 digest of
+//!    `hdc_raster::digest` streamed over every 16th pixel row) is compared
+//!    first, and the full `memcmp` runs only on a digest match. Identical
+//!    frames always produce identical fingerprints, so the gate never
+//!    misses a true repeat; a colliding fingerprint merely costs the
+//!    (SIMD-fast) compare. Sampling matters: FNV's byte-serial multiply
+//!    chain runs at ~1 GB/s, so hashing the *whole* VGA frame would cost
+//!    more than recognising it. The output is provably unchanged, so strict
+//!    gating preserves the engine's byte-identical-at-any-worker-count
+//!    determinism contract.
+//! 2. **Tile gate** ([`GateMode::Approximate`]): reuse the cached decision
+//!    when every tile's sum-of-absolute-differences against the reference
+//!    frame is within [`TemporalConfig::max_tile_sad`]. A coarse
+//!    box-downsample pre-pass supplies a lower bound on the total SAD that
+//!    rejects clearly changed frames (sign transitions) before the fine
+//!    tile pass runs. The pre-pass arms only while the gate is missing:
+//!    during a held sign (hit after hit) it would be pure overhead on top
+//!    of the tile pass that runs anyway, while during a transition (miss
+//!    after miss) it rejects each frame at half the tile pass's cost.
+//!    Before any differencing, approximate mode runs the same
+//!    hash-then-verify identity check as the strict gate, against the
+//!    *previous* frame: camera oversampling makes byte-identical repeats
+//!    the most common frame of all, identity implies every tolerance holds,
+//!    and the check costs a third of the tile pass.
+//! 3. **Signature short-circuit** (approximate mode only): when the tile
+//!    gate misses, recompute the signature but skip the SAX search if the
+//!    new signature is within [`TemporalConfig::signature_epsilon`]
+//!    (Euclidean) of the signature that produced the cached decision.
+//!
+//! **Boundedness of approximate mode.** The reference *signature* is only
+//! replaced by a full SAX run, never chained through short-circuits, so the
+//! signature presented to the classifier is always within ε of the one the
+//! cached decision was computed from — tolerances bound the staleness
+//! absolutely instead of accumulating drift. The measured decision
+//! divergence against the ungated oracle on the benchmark workload is
+//! recorded in `BENCH_stream.json` and bounded by test.
+
+use crate::engine::Recognition;
+use crate::pipeline::{FrameResult, FrameScratch, RecognitionPipeline};
+use crate::timing::StageTimings;
+use hdc_raster::diff::{box_downsample_into, coarse_sad, tile_sad_into};
+use hdc_raster::digest::Fnv1a64;
+use hdc_raster::GrayImage;
+
+/// Every `FINGERPRINT_ROW_STRIDE`-th pixel row feeds the strict gate's
+/// frame fingerprint (~3% of a frame; see the module docs for why sampling
+/// beats whole-frame hashing).
+const FINGERPRINT_ROW_STRIDE: usize = 32;
+
+/// The strict gate's frame fingerprint: the shared FNV-1a/64 digest
+/// streamed over the dimensions and every [`FINGERPRINT_ROW_STRIDE`]-th
+/// row. Deterministic in the pixels, so byte-identical frames always
+/// collide (the gate then verifies with `memcmp`).
+fn frame_fingerprint(frame: &GrayImage) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.write(&frame.width().to_le_bytes());
+    h.write(&frame.height().to_le_bytes());
+    let w = frame.width() as usize;
+    let pixels = frame.pixels();
+    for y in (0..frame.height() as usize).step_by(FINGERPRINT_ROW_STRIDE) {
+        h.write(&pixels[y * w..(y + 1) * w]);
+    }
+    h.finish()
+}
+
+/// Which reuse checks the gate runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateMode {
+    /// No gating: every frame pays the full pipeline (the ungated baseline).
+    Off,
+    /// Reuse only on byte-identical frames — output provably unchanged.
+    Strict,
+    /// Reuse within the tile-SAD tolerance, plus the signature
+    /// short-circuit. Output may diverge from the ungated oracle, bounded
+    /// by the configured tolerances.
+    Approximate,
+}
+
+/// Gate configuration. The defaults are tuned for 640×480 frames with
+/// sparse salt-and-pepper sensor jitter (the `bench_stream` workload); see
+/// the field docs for how to retune.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemporalConfig {
+    /// Which reuse checks run.
+    pub mode: GateMode,
+    /// Tile edge length in pixels for the fine differencing pass.
+    pub tile: u32,
+    /// Box-downsample factor of the coarse lower-bound pre-pass.
+    pub coarse_factor: u32,
+    /// Maximum per-tile SAD for a frame to count as unchanged. A flipped
+    /// sensor pixel contributes up to 255, so this is roughly "tolerated
+    /// flipped pixels per tile × 255".
+    pub max_tile_sad: u64,
+    /// Maximum Euclidean distance between a freshly computed signature and
+    /// the cached decision's signature for the SAX search to be skipped.
+    /// Signatures are z-normalised 128-sample series; compare against the
+    /// calibrated acceptance threshold (≈6) to pick a safe fraction.
+    pub signature_epsilon: f64,
+}
+
+impl TemporalConfig {
+    /// The ungated baseline (every frame recomputed).
+    pub fn off() -> Self {
+        TemporalConfig {
+            mode: GateMode::Off,
+            ..Self::approximate()
+        }
+    }
+
+    /// Strict gating: reuse on byte-identical frames only.
+    pub fn strict() -> Self {
+        TemporalConfig {
+            mode: GateMode::Strict,
+            ..Self::approximate()
+        }
+    }
+
+    /// Approximate gating with the default tolerances.
+    pub fn approximate() -> Self {
+        TemporalConfig {
+            mode: GateMode::Approximate,
+            tile: 32,
+            coarse_factor: 8,
+            max_tile_sad: 3_000,
+            signature_epsilon: 0.5,
+        }
+    }
+}
+
+/// How the gate resolved the frames it saw: every frame lands in exactly
+/// one counter, so the four always sum to the frame count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GateCounters {
+    /// Byte-identical reuse: the strict gate, or approximate mode's
+    /// identity pre-check against the previous frame.
+    pub strict_hits: usize,
+    /// Tile-tolerance reuse (approximate mode).
+    pub approx_hits: usize,
+    /// Signature recomputed, SAX search skipped (approximate mode).
+    pub signature_short_circuits: usize,
+    /// Full pipeline runs (every gate missed, or gating was off).
+    pub full_runs: usize,
+}
+
+impl GateCounters {
+    /// Total frames resolved.
+    pub fn frames(&self) -> usize {
+        self.strict_hits + self.approx_hits + self.signature_short_circuits + self.full_runs
+    }
+
+    /// Frames that skipped at least the SAX search.
+    pub fn hits(&self) -> usize {
+        self.strict_hits + self.approx_hits + self.signature_short_circuits
+    }
+
+    /// Counter deltas accumulated since an earlier snapshot (per-stream
+    /// attribution when one recogniser serves several streams in turn).
+    pub fn since(&self, earlier: &GateCounters) -> GateCounters {
+        GateCounters {
+            strict_hits: self.strict_hits - earlier.strict_hits,
+            approx_hits: self.approx_hits - earlier.approx_hits,
+            signature_short_circuits: self.signature_short_circuits
+                - earlier.signature_short_circuits,
+            full_runs: self.full_runs - earlier.full_runs,
+        }
+    }
+
+    /// Element-wise sum (aggregation across streams).
+    pub fn plus(&self, other: &GateCounters) -> GateCounters {
+        GateCounters {
+            strict_hits: self.strict_hits + other.strict_hits,
+            approx_hits: self.approx_hits + other.approx_hits,
+            signature_short_circuits: self.signature_short_circuits
+                + other.signature_short_circuits,
+            full_runs: self.full_runs + other.full_runs,
+        }
+    }
+}
+
+/// Incremental recogniser for one frame stream: wraps a shared
+/// [`RecognitionPipeline`] + caller-owned [`FrameScratch`] with per-stream
+/// cached state (reference frame, its digest, coarse grid, signature, and
+/// the cached [`Recognition`]). See the module docs for the reuse ladder.
+///
+/// All internal buffers are allocated once and reused, so gate checks are
+/// allocation-free in steady state; only a *full run* allocates (the owned
+/// `Recognition` strings, exactly as the ungated path always has).
+///
+/// # Example
+/// ```
+/// use hdc_figure::{render_sign, MarshallingSign, ViewSpec};
+/// use hdc_vision::temporal::{StreamRecognizer, TemporalConfig};
+/// use hdc_vision::{FrameScratch, PipelineConfig, RecognitionPipeline};
+///
+/// let mut pipeline = RecognitionPipeline::new(PipelineConfig::default());
+/// pipeline.calibrate_from_views(&ViewSpec::paper_default(0.0, 5.0, 3.0));
+/// let frame = render_sign(MarshallingSign::Yes, &ViewSpec::paper_default(0.0, 5.0, 3.0));
+///
+/// let mut scratch = FrameScratch::new();
+/// let mut rec = StreamRecognizer::new(TemporalConfig::strict());
+/// for _ in 0..3 {
+///     let r = rec.recognize(&pipeline, &mut scratch, &frame);
+///     assert_eq!(r.decision.as_deref(), Some("Yes"));
+/// }
+/// assert_eq!(rec.counters().full_runs, 1); // frames 2 and 3 reused frame 1
+/// assert_eq!(rec.counters().strict_hits, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamRecognizer {
+    config: TemporalConfig,
+    counters: GateCounters,
+    /// The decision currently being reused, if any.
+    cached: Option<Recognition>,
+    /// The frame the cached decision (or the last short-circuit) was
+    /// computed against.
+    reference: GrayImage,
+    has_reference: bool,
+    /// Sampled-row FNV-1a/64 fingerprint of `reference` (strict identity
+    /// pre-check).
+    reference_hash: u64,
+    /// Coarse cell sums of `reference` (approximate lower-bound pre-pass).
+    reference_coarse: Vec<u32>,
+    /// Signature of the last *full SAX run* — short-circuits compare
+    /// against this, never against each other (boundedness).
+    reference_sig: Vec<f64>,
+    has_reference_sig: bool,
+    /// Per-tile SAD output buffer.
+    tiles: Vec<u64>,
+    /// Coarse cell sums of the current frame.
+    coarse_cur: Vec<u32>,
+    /// Whether the previous frame missed the gate — arms the coarse
+    /// pre-pass (worth its cost only while frames keep changing).
+    last_missed: bool,
+    /// The previous frame (approximate mode only): target of the identity
+    /// pre-check, which must compare against the *last* frame — the pinned
+    /// tolerance reference goes stale the moment jitter lands, while
+    /// oversampled duplicates repeat whatever came last.
+    prev: GrayImage,
+    prev_fingerprint: u64,
+    has_prev: bool,
+}
+
+impl StreamRecognizer {
+    /// A recogniser with empty caches.
+    pub fn new(config: TemporalConfig) -> Self {
+        StreamRecognizer {
+            config,
+            counters: GateCounters::default(),
+            cached: None,
+            reference: GrayImage::new(1, 1),
+            has_reference: false,
+            reference_hash: 0,
+            reference_coarse: Vec::new(),
+            reference_sig: Vec::new(),
+            has_reference_sig: false,
+            tiles: Vec::new(),
+            coarse_cur: Vec::new(),
+            last_missed: true,
+            prev: GrayImage::new(1, 1),
+            prev_fingerprint: 0,
+            has_prev: false,
+        }
+    }
+
+    /// The gate configuration.
+    pub fn config(&self) -> &TemporalConfig {
+        &self.config
+    }
+
+    /// Cumulative gate counters (never reset; snapshot and
+    /// [`GateCounters::since`] for windows).
+    pub fn counters(&self) -> GateCounters {
+        self.counters
+    }
+
+    /// Forgets all cached state (switching the recogniser to a different
+    /// stream) while keeping the grown buffers and the counters.
+    pub fn reset(&mut self) {
+        self.cached = None;
+        self.has_reference = false;
+        self.has_reference_sig = false;
+        self.last_missed = true;
+        self.has_prev = false;
+    }
+
+    /// Recognises one frame, reusing the cached decision when the active
+    /// gate allows it. The returned reference borrows the cache, so hit
+    /// frames allocate nothing; clone it if an owned value is needed.
+    pub fn recognize(
+        &mut self,
+        pipeline: &RecognitionPipeline,
+        scratch: &mut FrameScratch,
+        frame: &GrayImage,
+    ) -> &Recognition {
+        match self.config.mode {
+            GateMode::Off => {
+                self.full_run(pipeline, scratch, frame, None);
+            }
+            GateMode::Strict => {
+                // one fingerprint per frame: the identity pre-check on the
+                // hit path doubles as the stored reference hash on a miss
+                let fingerprint = frame_fingerprint(frame);
+                if self.strict_hit(frame, fingerprint) {
+                    self.counters.strict_hits += 1;
+                } else {
+                    self.full_run(pipeline, scratch, frame, Some(fingerprint));
+                }
+            }
+            GateMode::Approximate => {
+                let fingerprint = frame_fingerprint(frame);
+                if self.identity_hit(frame, fingerprint) {
+                    // byte-identical to the previous frame, whose outcome is
+                    // the cached decision whatever path produced it — and
+                    // `prev` already equals this frame, so nothing to store
+                    self.counters.strict_hits += 1;
+                    self.last_missed = false;
+                } else if self.tile_hit(frame) {
+                    self.counters.approx_hits += 1;
+                    self.last_missed = false;
+                    self.remember_prev(frame, fingerprint);
+                } else {
+                    self.last_missed = true;
+                    self.recompute_with_short_circuit(pipeline, scratch, frame);
+                    self.remember_prev(frame, fingerprint);
+                }
+            }
+        }
+        self.cached.as_ref().expect("every path caches a decision")
+    }
+
+    /// Byte-identity against the reference frame: fingerprint first,
+    /// `memcmp` only when the fingerprints agree.
+    fn strict_hit(&self, frame: &GrayImage, fingerprint: u64) -> bool {
+        self.reusable(frame)
+            && fingerprint == self.reference_hash
+            && frame.pixels() == self.reference.pixels()
+    }
+
+    /// Byte-identity against the *previous* frame (approximate mode's
+    /// pre-check): same hash-then-verify as [`StreamRecognizer::strict_hit`],
+    /// different target.
+    fn identity_hit(&self, frame: &GrayImage, fingerprint: u64) -> bool {
+        self.cached.is_some()
+            && self.has_prev
+            && frame.width() == self.prev.width()
+            && frame.height() == self.prev.height()
+            && fingerprint == self.prev_fingerprint
+            && frame.pixels() == self.prev.pixels()
+    }
+
+    /// Records the frame as the identity pre-check's target for the next
+    /// frame (no heap allocation in steady state).
+    fn remember_prev(&mut self, frame: &GrayImage, fingerprint: u64) {
+        self.prev.reset_dimensions(frame.width(), frame.height());
+        self.prev.pixels_mut().copy_from_slice(frame.pixels());
+        self.prev_fingerprint = fingerprint;
+        self.has_prev = true;
+    }
+
+    /// Coarse lower-bound pre-pass (armed while missing), then the per-tile
+    /// SAD tolerance check.
+    fn tile_hit(&mut self, frame: &GrayImage) -> bool {
+        if !self.reusable(frame) {
+            return false;
+        }
+        if self.last_missed {
+            let tiles_x = frame.width().div_ceil(self.config.tile) as u64;
+            let tiles_y = frame.height().div_ceil(self.config.tile) as u64;
+            let budget = self.config.max_tile_sad.saturating_mul(tiles_x * tiles_y);
+            box_downsample_into(frame, self.config.coarse_factor, &mut self.coarse_cur);
+            if coarse_sad(&self.coarse_cur, &self.reference_coarse) > budget {
+                // The coarse bound alone proves some tile must exceed the
+                // tolerance — skip the fine pass.
+                return false;
+            }
+        }
+        let summary = tile_sad_into(frame, &self.reference, self.config.tile, &mut self.tiles);
+        summary.max <= self.config.max_tile_sad
+    }
+
+    fn reusable(&self, frame: &GrayImage) -> bool {
+        self.cached.is_some()
+            && self.has_reference
+            && frame.width() == self.reference.width()
+            && frame.height() == self.reference.height()
+    }
+
+    /// The approximate-mode miss path: recompute the signature; skip the
+    /// SAX search when it stayed within ε of the cached decision's
+    /// signature, otherwise classify in full.
+    fn recompute_with_short_circuit(
+        &mut self,
+        pipeline: &RecognitionPipeline,
+        scratch: &mut FrameScratch,
+        frame: &GrayImage,
+    ) {
+        let mut timings = StageTimings::default();
+        match pipeline.signature_stages(frame, scratch, &mut timings) {
+            Err(failure) => {
+                let r = FrameResult::failed(timings, failure);
+                let rec = Recognition::from_frame_result(&r);
+                self.store_full(frame, rec, None, None);
+                self.counters.full_runs += 1;
+            }
+            Ok(stats) => {
+                let close_enough = self.has_reference_sig
+                    && euclidean_within(
+                        scratch.signature_series(),
+                        &self.reference_sig,
+                        self.config.signature_epsilon,
+                    );
+                if close_enough {
+                    // Decision reused; re-arm the pixel gates around the
+                    // current appearance but keep the reference signature
+                    // from the last full SAX run (bounded staleness).
+                    self.store_reference_pixels(frame, None);
+                    self.counters.signature_short_circuits += 1;
+                } else {
+                    let r = pipeline.classify_pass(scratch, stats, timings);
+                    let rec = Recognition::from_frame_result(&r);
+                    self.cached = Some(rec);
+                    self.store_reference_sig_from(scratch);
+                    self.store_reference_pixels(frame, None);
+                    self.counters.full_runs += 1;
+                }
+            }
+        }
+    }
+
+    /// Runs the full pipeline and caches everything. `fingerprint` carries
+    /// the frame digest when the caller already computed it for the gate
+    /// check (so the store never re-hashes).
+    fn full_run(
+        &mut self,
+        pipeline: &RecognitionPipeline,
+        scratch: &mut FrameScratch,
+        frame: &GrayImage,
+        fingerprint: Option<u64>,
+    ) {
+        let r = pipeline.recognize_with(scratch, frame);
+        let had_signature = r.stats.is_some();
+        let rec = Recognition::from_frame_result(&r);
+        self.store_full(frame, rec, had_signature.then_some(&*scratch), fingerprint);
+        self.counters.full_runs += 1;
+    }
+
+    /// Caches a freshly computed decision; `signature_scratch` is `Some`
+    /// when the scratch holds a valid signature series for the frame.
+    /// `GateMode::Off` skips the reference copies entirely.
+    fn store_full(
+        &mut self,
+        frame: &GrayImage,
+        rec: Recognition,
+        signature_scratch: Option<&FrameScratch>,
+        fingerprint: Option<u64>,
+    ) {
+        self.cached = Some(rec);
+        match signature_scratch {
+            Some(scratch) => self.store_reference_sig_from(scratch),
+            None => self.has_reference_sig = false,
+        }
+        if self.config.mode == GateMode::Off {
+            return;
+        }
+        self.store_reference_pixels(frame, fingerprint);
+    }
+
+    /// Copies the frame into the reference buffers (pixels, fingerprint,
+    /// coarse grid) without heap allocation in steady state.
+    fn store_reference_pixels(&mut self, frame: &GrayImage, fingerprint: Option<u64>) {
+        self.reference
+            .reset_dimensions(frame.width(), frame.height());
+        self.reference.pixels_mut().copy_from_slice(frame.pixels());
+        self.has_reference = true;
+        match self.config.mode {
+            GateMode::Strict => {
+                self.reference_hash = fingerprint.unwrap_or_else(|| frame_fingerprint(frame));
+            }
+            GateMode::Approximate => {
+                box_downsample_into(frame, self.config.coarse_factor, &mut self.reference_coarse);
+            }
+            GateMode::Off => {}
+        }
+    }
+
+    /// Records the scratch's current signature series as the reference
+    /// signature (called by the full-run paths after a successful
+    /// signature pass).
+    fn store_reference_sig_from(&mut self, scratch: &FrameScratch) {
+        self.reference_sig.clear();
+        self.reference_sig
+            .extend_from_slice(scratch.signature_series());
+        self.has_reference_sig = true;
+    }
+}
+
+/// `‖a − b‖ ≤ eps`, with an early exit once the running sum exceeds `eps²`
+/// (misses bail out after a few samples instead of walking all 128).
+fn euclidean_within(a: &[f64], b: &[f64], eps: f64) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let limit = eps * eps;
+    let mut sum = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        sum += d * d;
+        if sum > limit {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use hdc_figure::{render_sign, MarshallingSign, ViewSpec};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn calibrated() -> RecognitionPipeline {
+        let mut p = RecognitionPipeline::new(PipelineConfig::default());
+        p.calibrate_from_views(&ViewSpec::paper_default(0.0, 5.0, 3.0));
+        p
+    }
+
+    fn yes_frame() -> GrayImage {
+        render_sign(
+            MarshallingSign::Yes,
+            &ViewSpec::paper_default(0.0, 5.0, 3.0),
+        )
+    }
+
+    fn jittered(base: &GrayImage, seed: u64) -> GrayImage {
+        let mut f = base.clone();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        hdc_raster::noise::add_salt_pepper(&mut f, 0.001, &mut rng);
+        f
+    }
+
+    #[test]
+    fn off_mode_never_reuses() {
+        let p = calibrated();
+        let mut scratch = FrameScratch::new();
+        let mut rec = StreamRecognizer::new(TemporalConfig::off());
+        let frame = yes_frame();
+        for _ in 0..4 {
+            rec.recognize(&p, &mut scratch, &frame);
+        }
+        assert_eq!(rec.counters().full_runs, 4);
+        assert_eq!(rec.counters().hits(), 0);
+    }
+
+    #[test]
+    fn strict_reuses_identical_frames_only() {
+        let p = calibrated();
+        let mut scratch = FrameScratch::new();
+        let mut rec = StreamRecognizer::new(TemporalConfig::strict());
+        let frame = yes_frame();
+        let touched = jittered(&frame, 7);
+
+        let first = rec.recognize(&p, &mut scratch, &frame).clone();
+        let hit = rec.recognize(&p, &mut scratch, &frame).clone();
+        assert_eq!(first, hit);
+        assert_eq!(rec.counters().strict_hits, 1);
+
+        rec.recognize(&p, &mut scratch, &touched);
+        assert_eq!(
+            rec.counters().full_runs,
+            2,
+            "jitter must miss the strict gate"
+        );
+        // back to the original frame: it is no longer the reference
+        rec.recognize(&p, &mut scratch, &frame);
+        assert_eq!(rec.counters().full_runs, 3);
+        assert_eq!(rec.counters().frames(), 4);
+    }
+
+    #[test]
+    fn strict_output_matches_ungated_on_a_mixed_stream() {
+        let p = calibrated();
+        let mut frames = Vec::new();
+        for sign in MarshallingSign::ALL {
+            let f = render_sign(sign, &ViewSpec::paper_default(0.0, 5.0, 3.0));
+            frames.push(f.clone());
+            frames.push(f.clone()); // duplicate → strict hit
+            frames.push(f);
+        }
+        frames.push(GrayImage::new(64, 64)); // failure frame
+        frames.push(GrayImage::new(64, 64)); // duplicated failure
+
+        let mut s1 = FrameScratch::new();
+        let mut s2 = FrameScratch::new();
+        let mut gated = StreamRecognizer::new(TemporalConfig::strict());
+        for frame in &frames {
+            let want = crate::engine::RecognitionEngine::recognize_one(&p, &mut s1, frame);
+            let got = gated.recognize(&p, &mut s2, frame).clone();
+            assert_eq!(got, want);
+        }
+        assert!(
+            gated.counters().strict_hits >= frames.len() / 2,
+            "duplicates must hit"
+        );
+    }
+
+    #[test]
+    fn approximate_absorbs_sensor_jitter() {
+        let p = calibrated();
+        let mut scratch = FrameScratch::new();
+        let mut rec = StreamRecognizer::new(TemporalConfig::approximate());
+        let base = yes_frame();
+        let first = rec.recognize(&p, &mut scratch, &base).clone();
+        for seed in 0..5 {
+            let got = rec
+                .recognize(&p, &mut scratch, &jittered(&base, seed))
+                .clone();
+            assert_eq!(got, first, "jittered hold frames reuse the decision");
+        }
+        assert_eq!(rec.counters().approx_hits, 5);
+        assert_eq!(rec.counters().full_runs, 1);
+    }
+
+    #[test]
+    fn approximate_recomputes_on_a_sign_change() {
+        let p = calibrated();
+        let mut scratch = FrameScratch::new();
+        let mut rec = StreamRecognizer::new(TemporalConfig::approximate());
+        let yes = yes_frame();
+        let no = render_sign(MarshallingSign::No, &ViewSpec::paper_default(0.0, 5.0, 3.0));
+
+        assert_eq!(
+            rec.recognize(&p, &mut scratch, &yes).decision.as_deref(),
+            Some("Yes")
+        );
+        assert_eq!(
+            rec.recognize(&p, &mut scratch, &no).decision.as_deref(),
+            Some("No"),
+            "a real sign change must not be gated away"
+        );
+        assert_eq!(rec.counters().full_runs, 2);
+        assert_eq!(rec.counters().approx_hits, 0);
+    }
+
+    #[test]
+    fn resolution_change_misses_every_gate() {
+        let p = calibrated();
+        let mut scratch = FrameScratch::new();
+        for config in [TemporalConfig::strict(), TemporalConfig::approximate()] {
+            let mut rec = StreamRecognizer::new(config);
+            rec.recognize(&p, &mut scratch, &GrayImage::new(64, 64));
+            rec.recognize(&p, &mut scratch, &GrayImage::new(32, 32));
+            assert_eq!(rec.counters().full_runs, 2);
+            assert_eq!(rec.counters().hits(), 0);
+        }
+    }
+
+    #[test]
+    fn reset_forgets_the_cache_but_keeps_counting() {
+        let p = calibrated();
+        let mut scratch = FrameScratch::new();
+        let mut rec = StreamRecognizer::new(TemporalConfig::strict());
+        let frame = yes_frame();
+        rec.recognize(&p, &mut scratch, &frame);
+        rec.recognize(&p, &mut scratch, &frame);
+        assert_eq!(rec.counters().strict_hits, 1);
+        rec.reset();
+        rec.recognize(&p, &mut scratch, &frame);
+        assert_eq!(rec.counters().full_runs, 2, "reset must force a recompute");
+        assert_eq!(rec.counters().strict_hits, 1);
+    }
+
+    #[test]
+    fn counter_arithmetic() {
+        let a = GateCounters {
+            strict_hits: 5,
+            approx_hits: 2,
+            signature_short_circuits: 1,
+            full_runs: 3,
+        };
+        assert_eq!(a.frames(), 11);
+        assert_eq!(a.hits(), 8);
+        let b = a.plus(&a);
+        assert_eq!(b.frames(), 22);
+        assert_eq!(b.since(&a), a);
+    }
+
+    #[test]
+    fn euclidean_within_agrees_with_the_direct_formula() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.5, 2.0, 2.5];
+        let d = ((0.5f64).powi(2) * 2.0).sqrt();
+        assert!(euclidean_within(&a, &b, d + 1e-9));
+        assert!(!euclidean_within(&a, &b, d - 1e-9));
+        assert!(
+            !euclidean_within(&a, &b[..2], 10.0),
+            "length mismatch is a miss"
+        );
+    }
+}
