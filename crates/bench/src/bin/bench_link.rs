@@ -1,0 +1,228 @@
+//! Datalink benchmark: endpoint throughput and retransmit overhead.
+//!
+//! Two measurements over the `hdc-link` reliable endpoint pair:
+//!
+//! 1. **Processing throughput** — how many payloads per wall-clock second
+//!    one sender/receiver pair pushes through the full tick → channel →
+//!    handle → ack cycle on a clean link (the CPU cost of the protocol
+//!    machinery, not the simulated airtime);
+//! 2. **Retransmit overhead** — at 0%, 5% and 20% per-frame drop (applied
+//!    to both directions), the wire cost of reliable delivery: retransmits
+//!    per payload, total frames per delivered payload, and the simulated
+//!    completion time of a fixed transfer.
+//!
+//! The link layer is single-threaded by design (one endpoint pair per
+//! drone); `--threads` is recorded as metadata for report comparability
+//! with the other benchmarks, it does not change the measurement.
+//!
+//! Usage: `cargo run --release -p hdc-bench --bin bench_link
+//! [--threads N] [--smoke] [out.json]`
+
+use hdc_bench::report::{num, Table};
+use hdc_link::{Endpoint, EndpointConfig, LeaseConfig, LinkQuality, LossyChannel};
+use hdc_runtime::{available_workers, threads_from_args};
+use std::time::Instant;
+
+/// Simulation step: 50 Hz, matching the session loop's frame cadence.
+const DT: f64 = 0.02;
+
+/// Outcome of one reliable transfer run.
+struct TransferRun {
+    label: &'static str,
+    drop_pct: f64,
+    payloads: u64,
+    retransmits: u64,
+    acks: u64,
+    heartbeats: u64,
+    sim_seconds: f64,
+    wall_seconds: f64,
+}
+
+impl TransferRun {
+    fn frames_on_wire(&self) -> u64 {
+        self.payloads + self.retransmits + self.acks + self.heartbeats
+    }
+
+    fn overhead(&self) -> f64 {
+        self.frames_on_wire() as f64 / self.payloads as f64
+    }
+
+    fn retransmit_rate(&self) -> f64 {
+        self.retransmits as f64 / self.payloads as f64
+    }
+
+    fn throughput(&self) -> f64 {
+        self.payloads as f64 / self.wall_seconds
+    }
+}
+
+/// Drives `count` payloads through a sender/receiver endpoint pair over a
+/// symmetric lossy link until every payload is delivered and acknowledged.
+fn run_transfer(label: &'static str, drop_p: f64, count: u64, seed: u64) -> TransferRun {
+    let quality = LinkQuality::clean().with_drop(drop_p);
+    let mut to_rx: LossyChannel<hdc_link::Frame<u64>> = LossyChannel::new(quality, seed);
+    let mut to_tx: LossyChannel<hdc_link::Frame<u64>> = LossyChannel::new(quality, seed ^ 0x5ee5);
+    let mut tx: Endpoint<u64, u64> =
+        Endpoint::new(EndpointConfig::default(), LeaseConfig::default(), seed, 0.0);
+    let mut rx: Endpoint<u64, u64> = Endpoint::new(
+        EndpointConfig::default(),
+        LeaseConfig::default(),
+        seed ^ 0xacc,
+        0.0,
+    );
+
+    let started = Instant::now();
+    let mut now = 0.0;
+    let mut queued = 0u64;
+    let mut delivered = 0u64;
+    // cap well past any plausible completion so a regression fails loudly
+    let deadline = (count as f64 * DT) * 50.0 + 600.0;
+    while (delivered < count || tx.has_unacked() || !to_rx.is_idle() || !to_tx.is_idle())
+        && now < deadline
+    {
+        // one fresh payload per step until the whole transfer is queued,
+        // flow-controlled to stay inside the peer's receive window
+        if queued < count && tx.in_flight() < EndpointConfig::default().window as usize / 2 {
+            tx.send(now, queued);
+            queued += 1;
+        }
+        for f in tx.tick(now) {
+            to_rx.send(now, f);
+        }
+        for f in rx.tick(now) {
+            to_tx.send(now, f);
+        }
+        for f in to_rx.poll(now) {
+            delivered += rx.handle(now, f).len() as u64;
+        }
+        for f in to_tx.poll(now) {
+            tx.handle(now, f);
+        }
+        now += DT;
+    }
+    assert_eq!(
+        delivered, count,
+        "{label}: transfer did not complete within the simulated deadline"
+    );
+
+    let t = tx.stats();
+    let r = rx.stats();
+    TransferRun {
+        label,
+        drop_pct: drop_p * 100.0,
+        payloads: count,
+        retransmits: t.retransmits,
+        acks: r.acks_sent,
+        heartbeats: t.heartbeats_sent + r.heartbeats_sent,
+        sim_seconds: now,
+        wall_seconds: started.elapsed().as_secs_f64().max(1e-9),
+    }
+}
+
+fn json_for(runs: &[TransferRun], workers: usize, threads: Option<usize>) -> String {
+    use std::fmt::Write as _;
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"execution\": {{\"threads\": {}, \"threads_requested\": {}, \
+         \"available_parallelism\": {}}},",
+        workers,
+        threads.map_or("null".to_owned(), |t| t.to_string()),
+        available_workers()
+    );
+    let _ = writeln!(json, "  \"dt_s\": {DT},");
+    let _ = writeln!(json, "  \"transfers\": [");
+    for (i, r) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"label\": \"{}\", \"drop_pct\": {:.0}, \"payloads\": {}, \
+             \"retransmits\": {}, \"acks\": {}, \"heartbeats\": {}, \
+             \"frames_on_wire\": {}, \"overhead_frames_per_payload\": {:.3}, \
+             \"retransmit_rate\": {:.4}, \"sim_seconds\": {:.1}, \
+             \"throughput_payloads_per_s\": {:.0}}}{comma}",
+            r.label,
+            r.drop_pct,
+            r.payloads,
+            r.retransmits,
+            r.acks,
+            r.heartbeats,
+            r.frames_on_wire(),
+            r.overhead(),
+            r.retransmit_rate(),
+            r.sim_seconds,
+            r.throughput(),
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    json
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let threads = threads_from_args(&args);
+    let mut out_path = "BENCH_link.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => i += 1, // skip the flag's value
+            "--smoke" => {}
+            a if !a.starts_with("--") => out_path = a.to_owned(),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
+
+    let workers = threads.unwrap_or_else(available_workers);
+    let count: u64 = if smoke { 500 } else { 50_000 };
+    println!(
+        "datalink: {count} payloads per transfer at {:.0} Hz, loss sweep 0/5/20% \
+         (threads metadata: {workers}, host has {}){}",
+        1.0 / DT,
+        available_workers(),
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let runs = [
+        run_transfer("clean", 0.0, count, 0x42),
+        run_transfer("drop-5", 0.05, count, 0x42),
+        run_transfer("drop-20", 0.20, count, 0x42),
+    ];
+
+    let mut table = Table::new([
+        "link",
+        "drop %",
+        "payloads",
+        "retransmits",
+        "frames/payload",
+        "sim s",
+        "payloads/s (wall)",
+    ]);
+    for r in &runs {
+        table.row([
+            r.label.to_string(),
+            num(r.drop_pct, 0),
+            r.payloads.to_string(),
+            r.retransmits.to_string(),
+            num(r.overhead(), 3),
+            num(r.sim_seconds, 1),
+            num(r.throughput(), 0),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // sanity: reliability must not cost retransmits on a clean link, and
+    // overhead must grow monotonically with loss
+    assert_eq!(runs[0].retransmits, 0, "clean link must not retransmit");
+    assert!(
+        runs[0].overhead() <= runs[1].overhead() && runs[1].overhead() <= runs[2].overhead(),
+        "wire overhead must grow with loss"
+    );
+
+    let json = json_for(&runs, workers, threads);
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    println!("wrote {out_path}");
+}

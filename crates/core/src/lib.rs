@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod datalink;
 mod language;
 mod log;
 mod protocol;
@@ -31,6 +32,7 @@ mod roles;
 mod safety;
 mod session;
 
+pub use datalink::{DatalinkConfig, LinkEvent, LinkPump, LinkReport, SessionLink};
 pub use language::{DroneIntent, HumanIntent, Vocabulary};
 pub use log::{EventLog, LogEntry};
 pub use protocol::{

@@ -9,6 +9,7 @@
 //! No channel is faked: misread patterns, bad facing angles, dead-angle
 //! rejections and timeouts all happen for geometric reasons.
 
+use crate::datalink::{DatalinkConfig, LinkEvent, LinkReport, SessionLink};
 use crate::log::{EventLog, LogEntry};
 use crate::protocol::{
     NegotiationConfig, NegotiationMachine, NegotiationState, ProtocolAction, SessionOutcome,
@@ -162,6 +163,12 @@ pub struct SessionConfig {
     /// Optional deterministic human-response script; replaces the stochastic
     /// role-profile behaviour entirely when set.
     pub script: Option<HumanScript>,
+    /// Optional simulated drone↔supervisor datalink. When set, negotiation
+    /// events and protocol actions travel as reliable link messages over
+    /// seeded lossy channels (drop, duplication, reordering, partitions,
+    /// heartbeat leases); when `None` they are direct in-process calls —
+    /// the zero-fault special case, byte-identical to the pre-link engine.
+    pub datalink: Option<DatalinkConfig>,
 }
 
 impl SessionConfig {
@@ -188,12 +195,20 @@ impl SessionConfig {
             wind: WindModel::calm(),
             battery_wh: 71.0,
             script: None,
+            datalink: None,
         }
     }
 
     /// The same session with a deterministic human-response script installed.
     pub fn with_script(mut self, script: HumanScript) -> Self {
         self.script = Some(script);
+        self
+    }
+
+    /// The same session with a simulated datalink between drone and
+    /// supervisor.
+    pub fn with_datalink(mut self, datalink: DatalinkConfig) -> Self {
+        self.datalink = Some(datalink);
         self
     }
 }
@@ -219,6 +234,8 @@ pub struct SessionReport {
     pub safety_engaged: bool,
     /// Whether the drone finished on the ground.
     pub grounded: bool,
+    /// Datalink traffic summary, when a datalink was configured.
+    pub link: Option<LinkReport>,
     /// The full event log.
     pub log: EventLog,
 }
@@ -282,6 +299,7 @@ pub struct CollaborationSession {
     entered_area: bool,
     static_filter: hdc_vision::DecisionFilter,
     faults: Option<Box<dyn SessionFaults>>,
+    link: Option<SessionLink>,
 }
 
 /// Sign hold duration, seconds.
@@ -360,6 +378,9 @@ impl CollaborationSession {
             entered_area: false,
             static_filter: hdc_vision::DecisionFilter::new(2),
             faults: None,
+            link: config
+                .datalink
+                .map(|datalink| SessionLink::new(datalink, config.seed, 0.0)),
             config,
         }
     }
@@ -397,9 +418,20 @@ impl CollaborationSession {
     }
 
     /// Whether the session has reached a terminal protocol state and the
-    /// drone has finished moving.
+    /// drone has finished moving. With a datalink configured the link must
+    /// also be quiet (every command acknowledged, nothing in flight) so a
+    /// terminal decision's actions still reach the drone — unless the drone
+    /// has already engaged its safety latch, in which case a permanently
+    /// partitioned link cannot hold the session open.
     pub fn is_done(&self) -> bool {
-        self.machine.state().is_terminal() && !self.drone.is_executing() && self.flying_to.is_none()
+        let link_settled = match &self.link {
+            None => true,
+            Some(link) => link.is_quiet() || self.drone.safety_engaged(),
+        };
+        self.machine.state().is_terminal()
+            && !self.drone.is_executing()
+            && self.flying_to.is_none()
+            && link_settled
     }
 
     fn note(&mut self, entry: LogEntry) {
@@ -467,6 +499,51 @@ impl CollaborationSession {
                 }
             }
         }
+    }
+
+    /// Queues a drone-side negotiation event for the supervisor. Only
+    /// called when a datalink is configured — the endpoint gives it
+    /// exactly-once, in-order delivery, so a redelivered event can never
+    /// drive the machine twice.
+    fn link_event(&mut self, event: LinkEvent) {
+        let now = self.time;
+        if let Some(link) = self.link.as_mut() {
+            link.send_event(now, event);
+        }
+    }
+
+    /// Hands supervisor-decided actions to the drone: a direct in-process
+    /// call without a datalink, a reliable downlink message with one.
+    fn forward_actions(&mut self, actions: Vec<ProtocolAction>) {
+        if self.link.is_some() {
+            let now = self.time;
+            for action in actions {
+                if let Some(link) = self.link.as_mut() {
+                    link.send_action(now, action);
+                }
+            }
+        } else {
+            self.apply_actions(actions);
+        }
+    }
+
+    /// Supervisor side of the uplink: one delivered event drives exactly
+    /// one machine handler; any resulting actions go back down the link.
+    fn on_link_event(&mut self, event: LinkEvent) {
+        let before = self.machine.state();
+        let actions = match event {
+            LinkEvent::Arrived => self.machine.on_arrived(self.time),
+            LinkEvent::PatternComplete => self.machine.on_pattern_complete(self.time),
+            LinkEvent::Sign(sign) => self.machine.on_sign(Some(sign), self.time),
+            LinkEvent::WaveOff => self.machine.on_wave_off(self.time),
+            LinkEvent::Safety => self.machine.on_safety(self.time),
+        };
+        if self.machine.state() != before {
+            self.note(LogEntry::StateChanged {
+                to: self.machine.state(),
+            });
+        }
+        self.forward_actions(actions);
     }
 
     /// The human perceives a completed drone pattern and maybe schedules a
@@ -626,6 +703,10 @@ impl CollaborationSession {
         if self.dynamic.decision() == hdc_vision::dynamic::DynamicDecision::WaveOff {
             self.note(LogEntry::Note("dynamic gesture: wave-off detected".into()));
             self.dynamic.reset();
+            if self.link.is_some() {
+                self.link_event(LinkEvent::WaveOff);
+                return;
+            }
             let actions = self.machine.on_wave_off(self.time);
             if !actions.is_empty() {
                 self.note(LogEntry::StateChanged {
@@ -654,6 +735,14 @@ impl CollaborationSession {
                 .into_iter()
                 .find(|s| s.label() == label)
         });
+        if self.link.is_some() {
+            // only confirmed signs are worth a link message; silence is
+            // covered by the supervisor's own timeouts
+            if let Some(sign) = sign {
+                self.link_event(LinkEvent::Sign(sign));
+            }
+            return;
+        }
         let actions = self.machine.on_sign(sign, self.time);
         if !actions.is_empty() {
             self.note(LogEntry::StateChanged {
@@ -669,6 +758,15 @@ impl CollaborationSession {
     /// detected violation.
     pub fn inject_safety(&mut self, reason: &str) {
         self.note(LogEntry::Note(format!("SAFETY (injected): {reason}")));
+        if self.link.is_some() {
+            // safety is reflexive at the drone — it cannot wait on the
+            // link; the supervisor is told over the uplink (and its own
+            // lease expiry covers the case where that message never lands)
+            self.flying_to = None;
+            self.drone.trigger_safety(reason);
+            self.link_event(LinkEvent::Safety);
+            return;
+        }
         let actions = self.machine.on_safety(self.time);
         self.note(LogEntry::StateChanged {
             to: self.machine.state(),
@@ -703,7 +801,7 @@ impl CollaborationSession {
             self.note(LogEntry::StateChanged {
                 to: self.machine.state(),
             });
-            self.apply_actions(actions);
+            self.forward_actions(actions);
         }
 
         // --- drone motion ---
@@ -713,11 +811,15 @@ impl CollaborationSession {
                 if self.drone.state().position.distance(target) < 0.35 {
                     self.flying_to = None;
                     if self.machine.state() == NegotiationState::Approaching {
-                        let actions = self.machine.on_arrived(self.time);
-                        self.note(LogEntry::StateChanged {
-                            to: self.machine.state(),
-                        });
-                        self.apply_actions(actions);
+                        if self.link.is_some() {
+                            self.link_event(LinkEvent::Arrived);
+                        } else {
+                            let actions = self.machine.on_arrived(self.time);
+                            self.note(LogEntry::StateChanged {
+                                to: self.machine.state(),
+                            });
+                            self.apply_actions(actions);
+                        }
                     }
                 }
             }
@@ -729,15 +831,19 @@ impl CollaborationSession {
             if let DroneEvent::PatternComplete(kind) = &event {
                 let kind = *kind;
                 self.note(LogEntry::PatternDone(kind));
-                let actions = self.machine.on_pattern_complete(self.time);
-                if !actions.is_empty()
-                    || matches!(kind, PatternKind::Poke | PatternKind::RectangleRequest)
-                {
-                    self.note(LogEntry::StateChanged {
-                        to: self.machine.state(),
-                    });
+                if self.link.is_some() {
+                    self.link_event(LinkEvent::PatternComplete);
+                } else {
+                    let actions = self.machine.on_pattern_complete(self.time);
+                    if !actions.is_empty()
+                        || matches!(kind, PatternKind::Poke | PatternKind::RectangleRequest)
+                    {
+                        self.note(LogEntry::StateChanged {
+                            to: self.machine.state(),
+                        });
+                    }
+                    self.apply_actions(actions);
                 }
-                self.apply_actions(actions);
                 // the human watches communicative patterns
                 if matches!(kind, PatternKind::Poke | PatternKind::RectangleRequest) {
                     let trace = self.drone.take_trace();
@@ -750,12 +856,16 @@ impl CollaborationSession {
                 // fault) aborts the negotiation too — the protocol must not
                 // keep waiting on a platform that has landed itself
                 if is_safety {
-                    let actions = self.machine.on_safety(self.time);
-                    if !actions.is_empty() {
-                        self.note(LogEntry::StateChanged {
-                            to: self.machine.state(),
-                        });
-                        self.apply_actions(actions);
+                    if self.link.is_some() {
+                        self.link_event(LinkEvent::Safety);
+                    } else {
+                        let actions = self.machine.on_safety(self.time);
+                        if !actions.is_empty() {
+                            self.note(LogEntry::StateChanged {
+                                to: self.machine.state(),
+                            });
+                            self.apply_actions(actions);
+                        }
                     }
                 }
             }
@@ -830,6 +940,38 @@ impl CollaborationSession {
             self.process_frame();
         }
 
+        // --- datalink ---
+        if self.link.is_some() {
+            let now = self.time;
+            let pump = self.link.as_mut().expect("checked above").pump(now);
+            for event in pump.events {
+                self.on_link_event(event);
+            }
+            for action in pump.actions {
+                self.apply_actions(vec![action]);
+            }
+            if pump.drone_lease_expired {
+                // the drone has heard nothing for the lease timeout: it
+                // must not keep holding position near a person on a dead
+                // command link — autonomous safe-hold
+                self.inject_safety("datalink lease expired: autonomous safe-hold");
+            }
+            if pump.supervisor_lease_expired {
+                // the supervisor declares the drone lost and aborts
+                self.note(LogEntry::Note(
+                    "datalink lease expired: supervisor declares the drone lost".into(),
+                ));
+                let before = self.machine.state();
+                let actions = self.machine.on_safety(self.time);
+                if self.machine.state() != before {
+                    self.note(LogEntry::StateChanged {
+                        to: self.machine.state(),
+                    });
+                }
+                self.forward_actions(actions);
+            }
+        }
+
         // --- timeouts ---
         let actions = self.machine.poll(self.time);
         if !actions.is_empty() {
@@ -837,20 +979,29 @@ impl CollaborationSession {
                 to: self.machine.state(),
             });
         }
-        self.apply_actions(actions);
+        self.forward_actions(actions);
 
         // --- safety ---
-        if !self.machine.state().is_terminal() {
+        let drone_already_latched = self.link.is_some() && self.drone.safety_engaged();
+        if !self.machine.state().is_terminal() && !drone_already_latched {
             if let Some(violation) = self
                 .monitor
                 .check(self.drone.state(), self.config.human_position)
             {
                 self.note(LogEntry::Note(format!("SAFETY: {violation}")));
-                let actions = self.machine.on_safety(self.time);
-                self.note(LogEntry::StateChanged {
-                    to: self.machine.state(),
-                });
-                self.apply_actions(actions);
+                if self.link.is_some() {
+                    // reflexive at the drone; the supervisor learns over
+                    // the uplink
+                    self.flying_to = None;
+                    self.drone.trigger_safety("proximity/safety violation");
+                    self.link_event(LinkEvent::Safety);
+                } else {
+                    let actions = self.machine.on_safety(self.time);
+                    self.note(LogEntry::StateChanged {
+                        to: self.machine.state(),
+                    });
+                    self.apply_actions(actions);
+                }
             }
         }
     }
@@ -885,6 +1036,7 @@ impl CollaborationSession {
             ring_mode: self.drone.ring().mode(),
             safety_engaged: self.drone.safety_engaged(),
             grounded: self.drone.state().is_grounded(),
+            link: self.link.as_ref().map(SessionLink::report),
             log: self.log,
         }
     }
@@ -1011,6 +1163,126 @@ mod tests {
                 "seed {seed}: {outcome}"
             );
         }
+    }
+
+    #[test]
+    fn clean_datalink_reaches_the_same_grant() {
+        let config = SessionConfig::for_role(Role::Supervisor, true, 3)
+            .with_script(HumanScript::answering(ScriptedResponse::Sign(
+                MarshallingSign::Yes,
+            )))
+            .with_datalink(crate::DatalinkConfig::clean());
+        let report = CollaborationSession::new(config).run_report();
+        assert_eq!(
+            report.outcome,
+            SessionOutcome::Granted,
+            "log:\n{}",
+            report.log
+        );
+        let link = report.link.expect("a datalink was configured");
+        assert!(link.up.delivered > 0 && link.down.delivered > 0);
+        assert!(!link.drone_lease_expired && !link.supervisor_lease_expired);
+    }
+
+    #[test]
+    fn lossy_datalink_recovers_by_retransmission() {
+        let quality = hdc_link::LinkQuality::clean().with_drop(0.25);
+        let config = SessionConfig::for_role(Role::Supervisor, true, 3)
+            .with_script(HumanScript::answering(ScriptedResponse::Sign(
+                MarshallingSign::Yes,
+            )))
+            .with_datalink(crate::DatalinkConfig::symmetric(quality));
+        let report = CollaborationSession::new(config).run_report();
+        assert_eq!(
+            report.outcome,
+            SessionOutcome::Granted,
+            "log:\n{}",
+            report.log
+        );
+        let link = report.link.expect("a datalink was configured");
+        assert!(link.up.dropped + link.down.dropped > 0, "loss must occur");
+        assert!(
+            link.drone_endpoint.retransmits + link.supervisor_endpoint.retransmits > 0,
+            "recovery must come from retransmission"
+        );
+    }
+
+    #[test]
+    fn duplicated_commands_are_applied_exactly_once() {
+        let quality = hdc_link::LinkQuality::clean()
+            .with_dup(0.9)
+            .with_jitter(0.3);
+        let config = SessionConfig::for_role(Role::Supervisor, true, 3)
+            .with_script(HumanScript::answering(ScriptedResponse::Sign(
+                MarshallingSign::Yes,
+            )))
+            .with_datalink(crate::DatalinkConfig::symmetric(quality));
+        let report = CollaborationSession::new(config).run_report();
+        assert_eq!(
+            report.outcome,
+            SessionOutcome::Granted,
+            "log:\n{}",
+            report.log
+        );
+        let entries = report
+            .log
+            .filter(|e| *e == LogEntry::Action(ProtocolAction::EnterArea))
+            .count();
+        assert_eq!(entries, 1, "EnterArea must apply exactly once");
+        let link = report.link.expect("a datalink was configured");
+        assert!(
+            link.drone_endpoint.duplicates_discarded
+                + link.supervisor_endpoint.duplicates_discarded
+                > 0,
+            "the dedup window must have engaged"
+        );
+    }
+
+    #[test]
+    fn dead_datalink_forces_the_autonomous_failsafe() {
+        // the link partitions at t=2 s and never heals: the drone must end
+        // grounded with the danger ring, the supervisor must end aborted
+        let quality = hdc_link::LinkQuality::clean().with_partition(2.0, 1.0e9);
+        let config = SessionConfig::for_role(Role::Supervisor, true, 3)
+            .with_script(HumanScript::answering(ScriptedResponse::Sign(
+                MarshallingSign::Yes,
+            )))
+            .with_datalink(crate::DatalinkConfig::symmetric(quality));
+        let report = CollaborationSession::new(config).run_report();
+        assert_eq!(
+            report.outcome,
+            SessionOutcome::Aborted,
+            "log:\n{}",
+            report.log
+        );
+        assert!(report.safety_engaged, "the safety latch must engage");
+        assert!(report.grounded, "the drone must land itself");
+        assert_eq!(report.ring_mode, LedMode::Danger);
+        let link = report.link.expect("a datalink was configured");
+        assert!(link.drone_lease_expired && link.supervisor_lease_expired);
+        assert!(
+            report.duration_s < 60.0,
+            "the failsafe must fire promptly, not ride the session cap"
+        );
+    }
+
+    #[test]
+    fn linked_sessions_are_reproducible() {
+        let quality = hdc_link::LinkQuality::clean()
+            .with_drop(0.3)
+            .with_jitter(0.5);
+        let run = || {
+            let config = SessionConfig::for_role(Role::Supervisor, true, 11)
+                .with_script(HumanScript::answering(ScriptedResponse::Sign(
+                    MarshallingSign::Yes,
+                )))
+                .with_datalink(crate::DatalinkConfig::symmetric(quality));
+            CollaborationSession::new(config).run_report()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(format!("{}", a.log), format!("{}", b.log));
+        assert_eq!(a.outcome, b.outcome);
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Property tests for protocol idempotence under at-least-once delivery.
+//!
+//! The datalink endpoint deduplicates by sequence number, but the protocol
+//! machine is the last line of defence: if a retransmitted command or event
+//! slips through (or the link layer is bypassed entirely), the machine's
+//! state guards must absorb the replay. Three properties pin that down:
+//!
+//! 1. **Immediate duplicates are absorbed** — redelivering the event that
+//!    was just handled produces no actions and no state change.
+//! 2. **One-shot actions never repeat** — `EnterArea` and `DangerLand`
+//!    are emitted at most once over *any* event sequence, however
+//!    duplicated or reordered, and the machine commits to at most one
+//!    terminal transition.
+//! 3. **Stale replays never resurrect a terminal negotiation** — once
+//!    terminal, replaying the entire history (a worst-case retransmit
+//!    storm) yields nothing.
+
+use hdc_core::{NegotiationConfig, NegotiationMachine, NegotiationState, ProtocolAction};
+use hdc_figure::MarshallingSign;
+use proptest::prelude::*;
+
+/// One abstract input to the negotiation machine, as the datalink would
+/// deliver it (events uplinked from the drone, signs from vision, polls
+/// from the supervisor clock).
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Arrived,
+    PatternComplete,
+    Sign(Option<MarshallingSign>),
+    Poll,
+    WaveOff,
+    Safety,
+}
+
+fn ev() -> impl Strategy<Value = Ev> {
+    (0usize..9).prop_map(|k| match k {
+        0 => Ev::Arrived,
+        1 => Ev::PatternComplete,
+        2 => Ev::Sign(Some(MarshallingSign::AttentionGained)),
+        3 => Ev::Sign(Some(MarshallingSign::Yes)),
+        4 => Ev::Sign(Some(MarshallingSign::No)),
+        5 => Ev::Sign(None),
+        6 => Ev::Poll,
+        7 => Ev::WaveOff,
+        _ => Ev::Safety,
+    })
+}
+
+fn apply(m: &mut NegotiationMachine, e: Ev, now: f64) -> Vec<ProtocolAction> {
+    match e {
+        Ev::Arrived => m.on_arrived(now),
+        Ev::PatternComplete => m.on_pattern_complete(now),
+        Ev::Sign(s) => m.on_sign(s, now),
+        Ev::Poll => m.poll(now),
+        Ev::WaveOff => m.on_wave_off(now),
+        Ev::Safety => m.on_safety(now),
+    }
+}
+
+/// Replays `events` against a fresh started machine, 1 s apart, collecting
+/// every emitted action.
+fn drive(events: &[Ev]) -> (NegotiationMachine, Vec<ProtocolAction>, f64) {
+    let mut m = NegotiationMachine::new(NegotiationConfig::default());
+    let mut now = 0.0;
+    let mut all = m.start(now);
+    for e in events {
+        now += 1.0;
+        all.extend(apply(&mut m, *e, now));
+    }
+    (m, all, now)
+}
+
+proptest! {
+    // Redelivering the event that was just handled — the exact failure a
+    // duplicating link produces — is a no-op: no actions, no state change.
+    #[test]
+    fn immediate_duplicates_are_absorbed(
+        prefix in prop::collection::vec(ev(), 0..12),
+        dup in ev(),
+    ) {
+        let (mut m, _, now) = drive(&prefix);
+        apply(&mut m, dup, now + 1.0);
+        let state = m.state();
+        let replayed = apply(&mut m, dup, now + 1.0);
+        prop_assert!(
+            replayed.is_empty(),
+            "duplicate {:?} re-emitted {:?} from {:?}", dup, replayed, state
+        );
+        prop_assert_eq!(m.state(), state, "duplicate {:?} moved the machine", dup);
+    }
+
+    // Over any delivery order with any duplication, the irreversible
+    // commands fire at most once, and the machine commits to at most one
+    // terminal state (terminal latches are never re-entered or swapped).
+    #[test]
+    fn one_shot_actions_never_repeat(events in prop::collection::vec(ev(), 0..40)) {
+        let mut m = NegotiationMachine::new(NegotiationConfig::default());
+        let mut now = 0.0;
+        let mut all = m.start(now);
+        let mut terminal: Option<NegotiationState> = None;
+        for e in &events {
+            now += 1.0;
+            all.extend(apply(&mut m, *e, now));
+            match terminal {
+                None => {
+                    if m.state().is_terminal() {
+                        terminal = Some(m.state());
+                    }
+                }
+                Some(t) => prop_assert_eq!(
+                    m.state(), t, "terminal state changed after {:?}", e
+                ),
+            }
+        }
+        for one_shot in [ProtocolAction::EnterArea, ProtocolAction::DangerLand] {
+            let n = all.iter().filter(|a| **a == one_shot).count();
+            prop_assert!(n <= 1, "{one_shot} emitted {n} times");
+        }
+    }
+
+    // A worst-case retransmit storm — the entire history redelivered after
+    // the negotiation already terminated — produces nothing at all.
+    #[test]
+    fn stale_replays_never_resurrect_a_terminal_negotiation(
+        prefix in prop::collection::vec(ev(), 0..15),
+    ) {
+        let (mut m, _, mut now) = drive(&prefix);
+        // force termination if the random prefix did not reach it
+        apply(&mut m, Ev::Safety, now + 1.0);
+        now += 1.0;
+        let frozen = m.state();
+        prop_assert!(frozen.is_terminal());
+        for e in &prefix {
+            now += 1.0;
+            let actions = apply(&mut m, *e, now);
+            prop_assert!(
+                actions.is_empty(),
+                "replayed {:?} re-animated a terminal negotiation with {:?}", e, actions
+            );
+            prop_assert_eq!(m.state(), frozen);
+        }
+    }
+}

@@ -32,6 +32,7 @@
 mod agents;
 mod events;
 mod fleet;
+mod linked;
 mod map;
 mod metrics;
 mod mission;
@@ -39,6 +40,10 @@ mod mission;
 pub use agents::HumanActor;
 pub use events::{EventQueue, ScheduledEvent};
 pub use fleet::{run_fleet, run_fleet_with, FleetConfig, FleetStats};
+pub use linked::{
+    run_linked_fleet, FleetCommand, FleetTelemetry, LinkedDroneStats, LinkedFleetConfig,
+    LinkedFleetStats, RadioFailure,
+};
 pub use map::{FlyTrap, OrchardMap, Tree};
 pub use metrics::{MissionStats, NegotiationTally};
 pub use mission::{

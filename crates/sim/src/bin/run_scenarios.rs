@@ -15,8 +15,8 @@
 
 use hdc_runtime::{available_workers, threads_from_args, WorkPool};
 use hdc_sim::scenario::{format_manifest, golden_path, parse_manifest};
-use hdc_sim::sweep::dead_angle_sweep_with;
-use hdc_sim::{build_matrix, mission_cases, run_matrix_with, Grade};
+use hdc_sim::sweep::{dead_angle_sweep_with, link_loss_sweep_with};
+use hdc_sim::{build_matrix, linked_fleet_cases, mission_cases, run_matrix_with, Grade};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
@@ -56,8 +56,28 @@ fn main() -> ExitCode {
         println!("  {name:<36} {digest} {summary}");
     }
 
+    println!("running linked-fleet cases...");
+    let fleets = linked_fleet_cases();
+    for (name, digest, summary) in &fleets {
+        println!("  {name:<36} {digest} {summary}");
+    }
+
     println!("running dead-angle sweep...");
     let sweep = dead_angle_sweep_with(&pool, 5);
+
+    println!("running link-loss sweep...");
+    let loss = link_loss_sweep_with(&pool, 7, 5);
+    for p in &loss {
+        println!(
+            "  drop {:>3.0}%: {}/{} granted, {} retreated, {} failsafed, mean {:.1}s",
+            p.drop_p * 100.0,
+            p.granted,
+            p.sessions,
+            p.retreated,
+            p.failsafed,
+            p.mean_duration_s
+        );
+    }
 
     // --- golden manifest rows: sessions then missions, in matrix order ---
     let mut rows: Vec<(String, String, String)> = results
@@ -74,6 +94,11 @@ fn main() -> ExitCode {
         missions
             .iter()
             .map(|(n, d, _)| (n.clone(), d.clone(), "mission".to_owned())),
+    );
+    rows.extend(
+        fleets
+            .iter()
+            .map(|(n, d, _)| (n.clone(), d.clone(), "fleet".to_owned())),
     );
 
     let pass = results.iter().filter(|r| r.grade == Grade::Pass).count();
@@ -130,6 +155,18 @@ fn main() -> ExitCode {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"linked_fleets\": [");
+    for (i, (name, digest, summary)) in fleets.iter().enumerate() {
+        let comma = if i + 1 < fleets.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"digest\": \"{}\", \"summary\": \"{}\"}}{comma}",
+            json_escape(name),
+            digest,
+            json_escape(summary)
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"dead_angle_sweep\": [");
     for (i, p) in sweep.iter().enumerate() {
         let comma = if i + 1 < sweep.len() { "," } else { "" };
@@ -142,6 +179,24 @@ fn main() -> ExitCode {
             p.correct,
             p.total,
             p.rate()
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"link_loss_sweep\": [");
+    for (i, p) in loss.iter().enumerate() {
+        let comma = if i + 1 < loss.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"drop_pct\": {:.0}, \"sessions\": {}, \"granted\": {}, \
+             \"retreated\": {}, \"failsafed\": {}, \"unsafe_terminations\": {}, \
+             \"mean_duration_s\": {:.1}}}{comma}",
+            p.drop_p * 100.0,
+            p.sessions,
+            p.granted,
+            p.retreated,
+            p.failsafed,
+            p.unsafe_terminations,
+            p.mean_duration_s
         );
     }
     let _ = writeln!(json, "  ]");

@@ -9,7 +9,7 @@
 //! pure function of `(plan, seed)` — two sessions built from the same plan
 //! and seed replay the exact same disturbance schedule.
 
-use hdc_core::{FrameFate, Role, SessionConfig, SessionFaults};
+use hdc_core::{DatalinkConfig, FrameFate, Role, SessionConfig, SessionFaults};
 use hdc_drone::WindModel;
 use hdc_geometry::Vec3;
 use hdc_raster::{noise, GrayImage};
@@ -93,6 +93,34 @@ pub enum FaultKind {
         /// The new role.
         to: Role,
     },
+    /// Negotiation traffic rides the simulated datalink, which loses each
+    /// message with this probability (both directions). The endpoints'
+    /// retransmission recovers every loss short of a partition.
+    LinkDrop {
+        /// Per-message drop probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// The datalink duplicates each message with this probability; the
+    /// endpoint dedup window must discard every extra copy.
+    LinkDup {
+        /// Per-message duplication probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// Uniform datalink latency jitter up to this many seconds — messages
+    /// arrive out of order; the endpoint reorder window restores sequence.
+    LinkJitter {
+        /// Maximum extra latency (and so reordering depth), seconds.
+        seconds: f64,
+    },
+    /// The datalink partitions for a window (both directions). Windows
+    /// longer than the lease timeout force the drone's autonomous failsafe
+    /// and the supervisor's loss declaration.
+    LinkPartition {
+        /// Partition start, seconds.
+        at_s: f64,
+        /// Partition length, seconds.
+        for_s: f64,
+    },
 }
 
 /// An ordered, seeded collection of fault injectors.
@@ -119,14 +147,36 @@ impl FaultPlan {
     }
 
     /// Applies the environment-level faults to a session config (wind,
-    /// battery). Channel-level faults are delivered by [`FaultPlan::build`].
+    /// battery, datalink impairments). Channel-level faults are delivered by
+    /// [`FaultPlan::build`].
     pub fn apply_config(&self, config: &mut SessionConfig) {
+        // any link fault routes the negotiation over the simulated datalink
+        let impair =
+            |config: &mut SessionConfig,
+             f: &dyn Fn(hdc_link::LinkQuality) -> hdc_link::LinkQuality| {
+                let mut datalink = config.datalink.unwrap_or_else(DatalinkConfig::clean);
+                datalink.uplink = f(datalink.uplink);
+                datalink.downlink = f(datalink.downlink);
+                config.datalink = Some(datalink);
+            };
         for fault in &self.faults {
             match *fault {
                 FaultKind::WindGust { speed, gust } => {
                     config.wind = WindModel::breeze(Vec3::new(1.0, 0.4, 0.0), speed, gust);
                 }
                 FaultKind::BatterySag { capacity_wh } => config.battery_wh = capacity_wh,
+                FaultKind::LinkDrop { probability } => {
+                    impair(config, &|q| q.with_drop(probability));
+                }
+                FaultKind::LinkDup { probability } => {
+                    impair(config, &|q| q.with_dup(probability));
+                }
+                FaultKind::LinkJitter { seconds } => {
+                    impair(config, &|q| q.with_jitter(seconds));
+                }
+                FaultKind::LinkPartition { at_s, for_s } => {
+                    impair(config, &|q| q.with_partition(at_s, for_s));
+                }
                 _ => {}
             }
         }
@@ -171,7 +221,11 @@ impl FaultPlan {
                 FaultKind::RoleChange { at_s, to } => p.role_change = Some((at_s, to)),
                 FaultKind::LedFailure { .. }
                 | FaultKind::WindGust { .. }
-                | FaultKind::BatterySag { .. } => {}
+                | FaultKind::BatterySag { .. }
+                | FaultKind::LinkDrop { .. }
+                | FaultKind::LinkDup { .. }
+                | FaultKind::LinkJitter { .. }
+                | FaultKind::LinkPartition { .. } => {}
             }
         }
         p
@@ -298,6 +352,29 @@ mod tests {
         plan.apply_config(&mut cfg);
         assert!((cfg.wind.max_speed() - 7.0).abs() < 1e-9);
         assert_eq!(cfg.battery_wh, 10.0);
+    }
+
+    #[test]
+    fn link_faults_install_and_compose_a_datalink() {
+        let plan = FaultPlan {
+            seed: 0,
+            faults: vec![
+                FaultKind::LinkDrop { probability: 0.2 },
+                FaultKind::LinkJitter { seconds: 0.6 },
+                FaultKind::LinkPartition {
+                    at_s: 10.0,
+                    for_s: 4.0,
+                },
+            ],
+        };
+        let mut cfg = SessionConfig::for_role(Role::Worker, true, 1);
+        assert!(cfg.datalink.is_none());
+        plan.apply_config(&mut cfg);
+        let datalink = cfg.datalink.expect("link faults must install a datalink");
+        assert_eq!(datalink.uplink.drop_p, 0.2);
+        assert_eq!(datalink.uplink.jitter_s, 0.6);
+        assert_eq!(datalink.downlink.partition_at_s, 10.0);
+        assert_eq!(datalink.downlink.partition_for_s, 4.0);
     }
 
     #[test]

@@ -29,7 +29,8 @@ pub mod trace;
 
 pub use fault::{FaultKind, FaultPlan, PlanFaults};
 pub use scenario::{
-    build_matrix, mission_cases, run_matrix_with, run_scenario, Grade, Scenario, ScenarioResult,
+    build_matrix, linked_fleet_cases, mission_cases, run_matrix_with, run_scenario, Grade,
+    Scenario, ScenarioResult,
 };
-pub use sweep::{dead_angle_sweep, dead_angle_sweep_with};
+pub use sweep::{dead_angle_sweep, dead_angle_sweep_with, link_loss_sweep_with, LossPoint};
 pub use trace::{canonical_trace, digest_hex, fnv1a64};

@@ -24,7 +24,10 @@ use hdc_core::{
 };
 use hdc_drone::LedMode;
 use hdc_figure::MarshallingSign;
-use hdc_orchard::{Mission, MissionConfig, OrchardMap};
+use hdc_link::LinkQuality;
+use hdc_orchard::{
+    run_linked_fleet, LinkedFleetConfig, Mission, MissionConfig, OrchardMap, RadioFailure,
+};
 
 /// A named, fully specified scenario.
 #[derive(Debug, Clone)]
@@ -169,6 +172,18 @@ pub fn check_invariants(report: &SessionReport) -> Vec<String> {
             if *t > danger_t {
                 violations.push(format!("action after DangerLand at {t:.1}s: {e}"));
             }
+        }
+    }
+
+    // command effects are exactly-once: the one-shot protocol actions must
+    // not apply twice even when a duplicating/reordering datalink redelivers
+    // them (the endpoint dedup window is what this pins)
+    for action in [ProtocolAction::EnterArea, ProtocolAction::DangerLand] {
+        let count = log
+            .filter(|e| *e == LogEntry::Action(action.clone()))
+            .count();
+        if count > 1 {
+            violations.push(format!("one-shot action applied {count} times: {action}"));
         }
     }
 
@@ -485,6 +500,81 @@ pub fn build_matrix() -> Vec<Scenario> {
         vec![Denied, Abandoned],
     ));
 
+    // --- datalink faults: the negotiation over a lossy radio ---
+    m.push(fault_scenario(
+        "link-clean-baseline",
+        // probability zero still routes everything over the (perfect) link
+        FaultKind::LinkDrop { probability: 0.0 },
+        vec![Granted],
+    ));
+    m.push(fault_scenario(
+        "link-drop-light",
+        FaultKind::LinkDrop { probability: 0.1 },
+        vec![Granted],
+    ));
+    m.push(fault_scenario(
+        "link-drop-heavy",
+        FaultKind::LinkDrop { probability: 0.45 },
+        vec![Granted, Abandoned],
+    ));
+    m.push(fault_scenario(
+        "link-dup-storm",
+        FaultKind::LinkDup { probability: 0.8 },
+        vec![Granted],
+    ));
+    m.push(fault_scenario(
+        "link-reorder-deep",
+        FaultKind::LinkJitter { seconds: 0.8 },
+        vec![Granted],
+    ));
+    // a 2 s outage is shorter than the 3 s lease: the link heals and the
+    // negotiation completes (retransmission bridges the gap)
+    m.push(fault_scenario(
+        "link-partition-transient",
+        FaultKind::LinkPartition {
+            at_s: 10.0,
+            for_s: 2.0,
+        },
+        vec![Granted, Abandoned],
+    ));
+    // a 30 s outage expires both leases: the drone failsafes autonomously
+    // and the supervisor aborts — the committed lease-expiry posture
+    m.push(fault_scenario(
+        "link-partition-lease-expiry",
+        FaultKind::LinkPartition {
+            at_s: 10.0,
+            for_s: 30.0,
+        },
+        vec![Aborted],
+    ));
+    m.push(fault_scenario(
+        "link-partition-early",
+        FaultKind::LinkPartition {
+            at_s: 1.0,
+            for_s: 1.0e6,
+        },
+        vec![Aborted],
+    ));
+    m.push(scenario(
+        "link-gauntlet-drop-dup-reorder",
+        scripted_base(42),
+        FaultPlan {
+            seed: 23,
+            faults: vec![
+                FaultKind::LinkDrop { probability: 0.25 },
+                FaultKind::LinkDup { probability: 0.3 },
+                FaultKind::LinkJitter { seconds: 0.5 },
+            ],
+        },
+        vec![Granted, Abandoned, Denied],
+    ));
+    m.push(scenario(
+        "wave-off-over-lossy-link",
+        SessionConfig::for_role(Role::Worker, false, 13).with_script(HumanScript::wave_off()),
+        FaultPlan::single(13, FaultKind::LinkDrop { probability: 0.3 }),
+        vec![Denied, Abandoned],
+    ));
+
     // --- external safety injection ---
     let mut early = scenario(
         "injected-safety-early",
@@ -531,6 +621,52 @@ pub fn mission_cases() -> Vec<(String, String, String)> {
         (name.to_owned(), digest_hex(&text), summary)
     })
     .collect()
+}
+
+/// Linked-fleet conformance cases: `(name, digest, summary)` rows pinning
+/// the datalink-supervised fleet (reliable dispatch, lease supervision,
+/// re-dispatch after radio death) on top of the link layer.
+pub fn linked_fleet_cases() -> Vec<(String, String, String)> {
+    let cases: [(&str, u64, LinkQuality, Vec<RadioFailure>); 3] = [
+        ("fleet-link-clean", 5, LinkQuality::clean(), vec![]),
+        (
+            "fleet-link-lossy",
+            5,
+            LinkQuality::clean().with_drop(0.3).with_jitter(0.3),
+            vec![],
+        ),
+        (
+            "fleet-link-radio-death",
+            5,
+            LinkQuality::clean().with_drop(0.1),
+            vec![RadioFailure {
+                drone: 1,
+                at_s: 15.0,
+            }],
+        ),
+    ];
+    cases
+        .into_iter()
+        .map(|(name, seed, quality, failures)| {
+            let map = OrchardMap::grid(3, 4, 4.0, 3.0);
+            let cfg = LinkedFleetConfig {
+                quality,
+                failures,
+                ..Default::default()
+            };
+            let stats = run_linked_fleet(&cfg, &map, seed);
+            let text = format!("{stats:?}");
+            let summary = format!(
+                "confirmed={}/{} lost={} reassigned={} dup_reads={}",
+                stats.traps_confirmed,
+                stats.traps_total,
+                stats.drones_lost,
+                stats.reassigned,
+                stats.duplicate_reads
+            );
+            (name.to_owned(), digest_hex(&text), summary)
+        })
+        .collect()
 }
 
 /// Where the golden digest manifest lives (repo root, committed).
@@ -584,6 +720,7 @@ mod tests {
             ring_mode: LedMode::Navigation,
             safety_engaged: false,
             grounded: false,
+            link: None,
             log: EventLog::new(),
         }
     }

@@ -6,7 +6,12 @@
 //! levels, showing the cliff both deepening and widening as the sensor
 //! degrades.
 
+use hdc_core::{
+    CollaborationSession, DatalinkConfig, HumanScript, Role, ScriptedResponse, SessionConfig,
+    SessionOutcome,
+};
 use hdc_figure::{render_sign, MarshallingSign, ViewSpec};
+use hdc_link::LinkQuality;
 use hdc_raster::noise;
 use hdc_runtime::WorkPool;
 use hdc_vision::{FrameScratch, PipelineConfig, RecognitionPipeline};
@@ -114,6 +119,109 @@ pub fn dead_angle_sweep_with(pool: &WorkPool, seed: u64) -> Vec<SweepPoint> {
     )
 }
 
+/// One point of the link-loss sweep: the outcome distribution of full
+/// closed-loop sessions negotiated over a symmetric lossy datalink.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossPoint {
+    /// Per-frame drop probability applied to both link directions.
+    pub drop_p: f64,
+    /// Sessions run at this loss rate.
+    pub sessions: usize,
+    /// Sessions ending Granted (negotiation completed, access given).
+    pub granted: usize,
+    /// Sessions ending Denied or Abandoned (the safe-retreat postures).
+    pub retreated: usize,
+    /// Sessions ending Aborted (the lease-expiry / safety failsafe).
+    pub failsafed: usize,
+    /// Terminal sessions whose safety posture was wrong (must stay 0):
+    /// an abort without the latched all-red grounded posture, or a
+    /// non-terminal session at the time cap.
+    pub unsafe_terminations: usize,
+    /// Mean session duration, simulated seconds.
+    pub mean_duration_s: f64,
+}
+
+/// The drop probabilities of the link-loss sweep.
+const LOSS_STEPS: [f64; 6] = [0.0, 0.1, 0.2, 0.3, 0.45, 0.6];
+
+/// Runs one linked session at drop rate `drop_p` and classifies its end.
+/// Returns `(outcome, duration, safe)`.
+fn loss_session(seed: u64, drop_p: f64) -> (SessionOutcome, f64, bool) {
+    let quality = LinkQuality::clean().with_drop(drop_p);
+    let config = SessionConfig::for_role(Role::Supervisor, true, seed)
+        .with_script(HumanScript::answering(ScriptedResponse::Sign(
+            MarshallingSign::Yes,
+        )))
+        .with_datalink(DatalinkConfig::symmetric(quality));
+    let mut s = CollaborationSession::new(config);
+    while !s.is_done() && s.time() < 300.0 {
+        s.step();
+    }
+    let done = s.is_done();
+    let report = s.into_report();
+    let safe = match report.outcome {
+        SessionOutcome::Aborted => report.safety_engaged && report.grounded,
+        SessionOutcome::StillRunning => false,
+        _ => done,
+    };
+    (report.outcome, report.duration_s, safe)
+}
+
+/// Sweeps link loss rate against session outcome: at each drop probability,
+/// `seeds_per_point` full closed-loop sessions negotiate over the lossy
+/// datalink and the outcome distribution is recorded. Deterministic for a
+/// given `seed` and identical at every worker count (each session derives
+/// an independent seed).
+pub fn link_loss_sweep_with(pool: &WorkPool, seed: u64, seeds_per_point: usize) -> Vec<LossPoint> {
+    let grid: Vec<(usize, u32)> = (0..LOSS_STEPS.len())
+        .flat_map(|p| (0..seeds_per_point as u32).map(move |s| (p, s)))
+        .collect();
+    let runs = pool.map_indexed(
+        &grid,
+        |_| (),
+        |_, _, &(p_idx, s_idx)| {
+            let session_seed = point_seed(seed, p_idx, s_idx);
+            loss_session(session_seed, LOSS_STEPS[p_idx])
+        },
+    );
+    LOSS_STEPS
+        .iter()
+        .enumerate()
+        .map(|(p_idx, &drop_p)| {
+            let mut point = LossPoint {
+                drop_p,
+                sessions: 0,
+                granted: 0,
+                retreated: 0,
+                failsafed: 0,
+                unsafe_terminations: 0,
+                mean_duration_s: 0.0,
+            };
+            for (g, &(gp, _)) in grid.iter().enumerate() {
+                if gp != p_idx {
+                    continue;
+                }
+                let (outcome, duration, safe) = runs[g];
+                point.sessions += 1;
+                point.mean_duration_s += duration;
+                if !safe {
+                    point.unsafe_terminations += 1;
+                }
+                match outcome {
+                    SessionOutcome::Granted => point.granted += 1,
+                    SessionOutcome::Denied | SessionOutcome::Abandoned => point.retreated += 1,
+                    SessionOutcome::Aborted => point.failsafed += 1,
+                    SessionOutcome::StillRunning => {}
+                }
+            }
+            if point.sessions > 0 {
+                point.mean_duration_s /= point.sessions as f64;
+            }
+            point
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +232,22 @@ mod tests {
         for workers in [2usize, 4] {
             let parallel = dead_angle_sweep_with(&WorkPool::new(workers), 5);
             assert_eq!(parallel, serial, "{workers}-worker sweep drifted");
+        }
+    }
+
+    #[test]
+    fn link_loss_sweep_is_deterministic_and_safe() {
+        let a = link_loss_sweep_with(&WorkPool::new(1), 7, 1);
+        let b = link_loss_sweep_with(&WorkPool::new(2), 7, 1);
+        assert_eq!(a, b, "loss sweep drifted across worker counts");
+        assert_eq!(a[0].granted, a[0].sessions, "a clean link must grant");
+        for p in &a {
+            assert_eq!(p.unsafe_terminations, 0, "unsafe terminal posture: {p:?}");
+            assert_eq!(
+                p.granted + p.retreated + p.failsafed,
+                p.sessions,
+                "every session must terminate in a classified posture: {p:?}"
+            );
         }
     }
 
