@@ -12,6 +12,7 @@
 
 pub mod experiments;
 pub mod frames;
+pub mod kernels;
 pub mod report;
 pub mod scaling;
 pub mod streams;

@@ -1,28 +1,34 @@
-//! Sustained recognition throughput: seed vs optimised pipeline.
+//! Sustained recognition throughput: seed vs byte vs packed pipeline.
 //!
 //! Measures frames per second of the full recognition pipeline at three
-//! resolutions, twice per resolution:
+//! resolutions, three times per resolution:
 //!
 //! * **seed** — the pre-optimisation implementation, rebuilt from the
-//!   reference oracles this PR kept around for exactly this purpose
+//!   reference oracles kept around for exactly this purpose
 //!   ([`hdc_raster::label_components_bfs`], the allocating signature
 //!   formula, [`hdc_sax::SaxIndex::best_two_reference`] with the naive
 //!   all-shifts rotation distance). Every frame allocates its masks,
 //!   contour, signature and rotated words from scratch.
-//! * **optimised** — [`RecognitionPipeline::recognize_with`] through one
-//!   reused [`FrameScratch`]: FFT-accelerated rotation matching, MINDIST
-//!   pruning, raw-slice raster ops, zero steady-state allocation.
+//! * **byte** — [`RecognitionPipeline::recognize_with`] on
+//!   [`hdc_vision::KernelPath::Byte`] through one reused [`FrameScratch`]:
+//!   the PR 1 optimisation level (FFT rotation matching, MINDIST pruning,
+//!   raw-slice raster ops, zero steady-state allocation), one byte per
+//!   silhouette pixel.
+//! * **packed** — the same pipeline on [`hdc_vision::KernelPath::Packed`]:
+//!   bit-packed silhouettes, 64 px per `u64` word, word-parallel kernels.
 //!
 //! The `bench_recognize` binary runs this and writes `BENCH_recognize.json`
 //! so the numbers are committed alongside the code they measure.
 
 use crate::frames::sign_stream;
-pub use crate::frames::{benchmark_pipeline, RESOLUTIONS};
+pub use crate::frames::{benchmark_pipeline, benchmark_pipeline_with, RESOLUTIONS};
 use hdc_raster::contour::{contour_centroid, trace_outer_contour};
 use hdc_raster::threshold::binarize;
 use hdc_raster::{label_components_bfs, Bitmap, Connectivity, GrayImage};
 use hdc_timeseries::{resample, TimeSeries};
-use hdc_vision::{FrameScratch, RecognitionPipeline, SegmentationMode, MIN_CONTOUR_POINTS};
+use hdc_vision::{
+    FrameScratch, KernelPath, RecognitionPipeline, SegmentationMode, MIN_CONTOUR_POINTS,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -50,7 +56,7 @@ impl Throughput {
     }
 }
 
-/// Seed-vs-optimised comparison at one resolution.
+/// Seed-vs-byte-vs-packed comparison at one resolution.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResolutionResult {
     /// Frame width in pixels.
@@ -59,14 +65,27 @@ pub struct ResolutionResult {
     pub height: u32,
     /// The pre-optimisation implementation.
     pub seed: Throughput,
-    /// The scratch-reuse implementation.
-    pub optimized: Throughput,
+    /// The scratch-reuse byte-kernel implementation (the PR 1 level).
+    pub byte: Throughput,
+    /// The scratch-reuse bit-packed implementation.
+    pub packed: Throughput,
 }
 
 impl ResolutionResult {
-    /// Speed-up factor (optimised fps over seed fps).
-    pub fn speedup(&self) -> f64 {
-        self.optimized.fps() / self.seed.fps()
+    /// Byte-kernel speed-up over the seed.
+    pub fn speedup_byte(&self) -> f64 {
+        self.byte.fps() / self.seed.fps()
+    }
+
+    /// Packed-kernel speed-up over the seed.
+    pub fn speedup_packed(&self) -> f64 {
+        self.packed.fps() / self.seed.fps()
+    }
+
+    /// Packed-kernel speed-up over the byte kernels — the gain of this PR
+    /// alone, over the previously committed (PR 1) optimisation level.
+    pub fn speedup_packed_vs_byte(&self) -> f64 {
+        self.packed.fps() / self.byte.fps()
     }
 }
 
@@ -170,9 +189,13 @@ pub fn measure<F: FnMut(&GrayImage) -> bool>(
     }
 }
 
-/// Runs the seed-vs-optimised comparison at one resolution.
+/// Runs the seed-vs-byte-vs-packed comparison at one resolution. The two
+/// pipelines must be calibrated identically and differ only in
+/// [`hdc_vision::PipelineConfig::kernels`]; the seed path runs off the byte
+/// pipeline's configuration.
 pub fn compare_at(
-    pipeline: &RecognitionPipeline,
+    byte_pipeline: &RecognitionPipeline,
+    packed_pipeline: &RecognitionPipeline,
     width: u32,
     height: u32,
     min_frames: usize,
@@ -180,62 +203,98 @@ pub fn compare_at(
 ) -> ResolutionResult {
     let frames = sign_stream(width, height);
     let seed = measure(&frames, min_frames, min_seconds, |f| {
-        recognize_seed(pipeline, f).is_some()
+        recognize_seed(byte_pipeline, f).is_some()
     });
     let mut scratch = FrameScratch::new();
-    let optimized = measure(&frames, min_frames, min_seconds, |f| {
-        pipeline.recognize_with(&mut scratch, f).decision.is_some()
+    let byte = measure(&frames, min_frames, min_seconds, |f| {
+        byte_pipeline
+            .recognize_with(&mut scratch, f)
+            .decision
+            .is_some()
+    });
+    let packed = measure(&frames, min_frames, min_seconds, |f| {
+        packed_pipeline
+            .recognize_with(&mut scratch, f)
+            .decision
+            .is_some()
     });
     ResolutionResult {
         width,
         height,
         seed,
-        optimized,
+        byte,
+        packed,
     }
 }
 
 /// Runs the full sweep over [`RESOLUTIONS`].
 pub fn run_sweep(min_frames: usize, min_seconds: f64) -> Vec<ResolutionResult> {
-    let pipeline = benchmark_pipeline();
+    let byte = benchmark_pipeline_with(KernelPath::Byte);
+    let packed = benchmark_pipeline_with(KernelPath::Packed);
     RESOLUTIONS
         .iter()
-        .map(|&(w, h)| compare_at(&pipeline, w, h, min_frames, min_seconds))
+        .map(|&(w, h)| compare_at(&byte, &packed, w, h, min_frames, min_seconds))
         .collect()
 }
 
 /// Renders the sweep as the JSON document committed at
 /// `BENCH_recognize.json` (hand-rolled: the workspace intentionally has no
 /// JSON-serialisation dependency).
-pub fn to_json(results: &[ResolutionResult]) -> String {
+pub fn to_json(results: &[ResolutionResult], kernels: &[crate::kernels::KernelResult]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"benchmark\": \"RecognitionPipeline sustained recognition throughput\",\n");
     s.push_str("  \"protocol\": {\n");
     s.push_str("    \"stream\": \"3 marshalling signs x 3 azimuths (0/10/20 deg), altitude 5 m, distance 3 m\",\n");
     s.push_str("    \"seed\": \"allocating binarize + BFS labelling + allocating signature + unpruned naive-rotation best_two (reference oracles)\",\n");
-    s.push_str("    \"optimized\": \"recognize_with(FrameScratch): raw-slice raster ops, MINDIST-pruned search, FFT rotation distance, zero steady-state allocation\",\n");
-    s.push_str("    \"timing\": \"one untimed warm-up cycle, then whole cycles until the frame and wall-clock floors are both met\"\n");
+    s.push_str("    \"byte\": \"recognize_with(FrameScratch), KernelPath::Byte: raw-slice raster ops, MINDIST-pruned search, FFT rotation distance, zero steady-state allocation (the PR 1 optimisation level)\",\n");
+    s.push_str("    \"packed\": \"recognize_with(FrameScratch), KernelPath::Packed: bit-packed silhouettes (64 px per u64 word), word-parallel binarize/morphology/labelling/contour kernels\",\n");
+    s.push_str("    \"timing\": \"one untimed warm-up cycle, then whole cycles until the frame and wall-clock floors are both met\",\n");
+    s.push_str("    \"speedup_packed_vs_byte\": \"the gain of the packed kernels alone over the previously committed byte-kernel numbers\"\n");
     s.push_str("  },\n");
     s.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\n      \"width\": {}, \"height\": {},\n      \"seed_fps\": {:.2}, \"seed_ms_per_frame\": {:.3}, \"seed_frames\": {}, \"seed_decided\": {},\n      \"optimized_fps\": {:.2}, \"optimized_ms_per_frame\": {:.3}, \"optimized_frames\": {}, \"optimized_decided\": {},\n      \"speedup\": {:.2}\n    }}{}\n",
+            "    {{\n      \"width\": {}, \"height\": {},\n      \"seed_fps\": {:.2}, \"seed_ms_per_frame\": {:.3}, \"seed_frames\": {}, \"seed_decided\": {},\n      \"byte_fps\": {:.2}, \"byte_ms_per_frame\": {:.3}, \"byte_frames\": {}, \"byte_decided\": {},\n      \"packed_fps\": {:.2}, \"packed_ms_per_frame\": {:.3}, \"packed_frames\": {}, \"packed_decided\": {},\n      \"speedup_byte\": {:.2}, \"speedup_packed\": {:.2}, \"speedup_packed_vs_byte\": {:.2}\n    }}{}\n",
             r.width,
             r.height,
             r.seed.fps(),
             r.seed.ms_per_frame(),
             r.seed.frames,
             r.seed.decided,
-            r.optimized.fps(),
-            r.optimized.ms_per_frame(),
-            r.optimized.frames,
-            r.optimized.decided,
-            r.speedup(),
+            r.byte.fps(),
+            r.byte.ms_per_frame(),
+            r.byte.frames,
+            r.byte.decided,
+            r.packed.fps(),
+            r.packed.ms_per_frame(),
+            r.packed.frames,
+            r.packed.decided,
+            r.speedup_byte(),
+            r.speedup_packed(),
+            r.speedup_packed_vs_byte(),
             if i + 1 < results.len() { "," } else { "" }
         );
     }
-    s.push_str("  ]\n}\n");
+    if kernels.is_empty() {
+        s.push_str("  ]\n}\n");
+    } else {
+        s.push_str("  ],\n");
+        s.push_str("  \"kernels\": [\n");
+        for (i, k) in kernels.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{ \"kernel\": \"{}\", \"byte_ns_per_frame\": {:.0}, \"packed_ns_per_frame\": {:.0}, \"speedup\": {:.2} }}{}",
+                k.name,
+                k.byte_ns,
+                k.packed_ns,
+                k.speedup(),
+                if i + 1 < kernels.len() { "," } else { "" }
+            );
+        }
+        s.push_str("  ]\n}\n");
+    }
     s
 }
 
@@ -245,21 +304,23 @@ mod tests {
 
     #[test]
     fn seed_and_optimised_agree_on_decisions() {
-        let pipeline = benchmark_pipeline();
         let frames = sign_stream(320, 240);
-        let mut scratch = FrameScratch::new();
-        for (i, frame) in frames.iter().enumerate() {
-            let seed = recognize_seed(&pipeline, frame);
-            let opt = pipeline.recognize_with(&mut scratch, frame);
-            let opt_idx = opt.decision.map(|label| {
-                pipeline
-                    .index()
-                    .templates()
-                    .iter()
-                    .position(|t| t.label == label)
-                    .unwrap()
-            });
-            assert_eq!(seed, opt_idx, "frame {i} decision diverged");
+        for kernels in [KernelPath::Byte, KernelPath::Packed] {
+            let pipeline = benchmark_pipeline_with(kernels);
+            let mut scratch = FrameScratch::new();
+            for (i, frame) in frames.iter().enumerate() {
+                let seed = recognize_seed(&pipeline, frame);
+                let opt = pipeline.recognize_with(&mut scratch, frame);
+                let opt_idx = opt.decision.map(|label| {
+                    pipeline
+                        .index()
+                        .templates()
+                        .iter()
+                        .position(|t| t.label == label)
+                        .unwrap()
+                });
+                assert_eq!(seed, opt_idx, "frame {i} ({kernels:?}) decision diverged");
+            }
         }
     }
 
@@ -287,11 +348,26 @@ mod tests {
             width: 320,
             height: 240,
             seed: t,
-            optimized: t,
+            byte: t,
+            packed: t,
         };
-        let json = to_json(&[r]);
+        let k = crate::kernels::KernelResult {
+            name: "binarize",
+            byte_ns: 1000.0,
+            packed_ns: 250.0,
+        };
+        let json = to_json(&[r], &[k]);
         assert!(json.contains("\"width\": 320"));
-        assert!(json.contains("\"speedup\": 1.00"));
+        assert!(json.contains("\"speedup_packed_vs_byte\": 1.00"));
+        assert!(json.contains("\"kernel\": \"binarize\""));
+        assert!(json.contains("\"speedup\": 4.00"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        let no_kernels = to_json(&[r], &[]);
+        assert!(!no_kernels.contains("\"kernels\""));
+        assert_eq!(
+            no_kernels.matches('{').count(),
+            no_kernels.matches('}').count()
+        );
     }
 }

@@ -1,5 +1,6 @@
 //! Connected-component labelling.
 
+use crate::bitmask::{BitMask, WORD_BITS};
 use crate::image::{Bitmap, Image};
 use hdc_geometry::Vec2;
 use serde::{Deserialize, Serialize};
@@ -28,6 +29,15 @@ impl Connectivity {
                 (-1, 1),
                 (-1, -1),
             ],
+        }
+    }
+
+    /// How far apart two runs on adjacent rows may start/end and still
+    /// touch: 8-connectivity also joins runs that only meet diagonally.
+    fn margin(self) -> u32 {
+        match self {
+            Connectivity::Four => 0,
+            Connectivity::Eight => 1,
         }
     }
 }
@@ -110,78 +120,46 @@ fn union_runs(parent: &mut [u32], a: u32, b: u32) {
     }
 }
 
-/// Core run-based labelling: extracts foreground runs, unions runs that
-/// touch across adjacent rows and resolves per-component statistics into
-/// `scratch`. Component numbering matches a row-major flood fill: labels are
-/// assigned in discovery order of each component's first (topmost, then
-/// leftmost) pixel.
+/// Appends the run `(y, s, e)` and unions it with every previous-row run it
+/// touches (`margin` 1 widens the overlap test for 8-connectivity). The
+/// cursor `p` only advances past runs that end strictly before this run
+/// starts, so a wide run above can still merge with the next run here.
+/// Shared by the byte and packed extractors, so both produce the identical
+/// union-find structure.
+#[allow(clippy::too_many_arguments)]
+fn push_run(
+    runs: &mut Vec<(u32, u32, u32)>,
+    parent: &mut Vec<u32>,
+    y: u32,
+    s: u32,
+    e: u32,
+    margin: u32,
+    p: &mut usize,
+    prev_hi: usize,
+) {
+    let ri = runs.len() as u32;
+    runs.push((y, s, e));
+    parent.push(ri);
+    while *p < prev_hi && runs[*p].2 + margin < s {
+        *p += 1;
+    }
+    let mut q = *p;
+    while q < prev_hi && runs[q].1 <= e + margin {
+        union_runs(parent, ri, q as u32);
+        q += 1;
+    }
+}
+
+/// Resolves union-find roots to component indices in first-run order
+/// (= row-major discovery order) and accumulates per-component statistics
+/// from run arithmetic.
 ///
 /// Statistics are exact: every coordinate sum is a sum of integers, which
 /// f64 accumulates exactly at these image sizes regardless of order, so the
 /// results are bit-identical to the per-pixel BFS oracle.
-fn label_into(mask: &Bitmap, conn: Connectivity, scratch: &mut LabelScratch) {
-    let w = mask.width() as usize;
-    let h = mask.height() as usize;
-    let px = mask.pixels();
-    let runs = &mut scratch.runs;
+fn resolve_runs(scratch: &mut LabelScratch) {
+    let runs = &scratch.runs;
     let parent = &mut scratch.parent;
-    runs.clear();
-    parent.clear();
-    // 8-connectivity also joins runs that only touch diagonally: widen the
-    // overlap test by one pixel on each side.
-    let margin = match conn {
-        Connectivity::Four => 0u32,
-        Connectivity::Eight => 1u32,
-    };
-
-    let (mut prev_lo, mut prev_hi) = (0usize, 0usize);
-    for y in 0..h {
-        let row = &px[y * w..(y + 1) * w];
-        let row_lo = runs.len();
-        let mut p = prev_lo; // cursor over the previous row's runs
-        let mut x = 0usize;
-        while x < w {
-            // Skip background in 32-pixel blocks (the `any` over a fixed
-            // chunk vectorises), then byte-wise to the run start.
-            while x + 32 <= w && !row[x..x + 32].iter().any(|&b| b) {
-                x += 32;
-            }
-            if x >= w {
-                break;
-            }
-            if !row[x] {
-                x += 1;
-                continue;
-            }
-            let s = x as u32;
-            while x + 32 <= w && row[x..x + 32].iter().all(|&b| b) {
-                x += 32;
-            }
-            while x < w && row[x] {
-                x += 1;
-            }
-            let e = (x - 1) as u32;
-            let ri = runs.len() as u32;
-            runs.push((y as u32, s, e));
-            parent.push(ri);
-            // Union with every previous-row run this one touches. `p` only
-            // advances past runs that end strictly before this run starts,
-            // so a wide run above can still merge with the next run here.
-            while p < prev_hi && runs[p].2 + margin < s {
-                p += 1;
-            }
-            let mut q = p;
-            while q < prev_hi && runs[q].1 <= e + margin {
-                union_runs(parent, ri, q as u32);
-                q += 1;
-            }
-        }
-        prev_lo = row_lo;
-        prev_hi = runs.len();
-    }
-
-    // Resolve roots to component indices in first-run order (= row-major
-    // discovery order) and accumulate statistics from run arithmetic.
     let run_comp = &mut scratch.run_comp;
     run_comp.clear();
     run_comp.resize(runs.len(), 0);
@@ -215,6 +193,134 @@ fn label_into(mask: &Bitmap, conn: Connectivity, scratch: &mut LabelScratch) {
     for c in &mut scratch.comps {
         c.centroid /= c.area as f64;
     }
+}
+
+/// Core run-based labelling: extracts foreground runs, unions runs that
+/// touch across adjacent rows and resolves per-component statistics into
+/// `scratch`. Component numbering matches a row-major flood fill: labels are
+/// assigned in discovery order of each component's first (topmost, then
+/// leftmost) pixel.
+fn label_into(mask: &Bitmap, conn: Connectivity, scratch: &mut LabelScratch) {
+    let w = mask.width() as usize;
+    let h = mask.height() as usize;
+    let px = mask.pixels();
+    let runs = &mut scratch.runs;
+    let parent = &mut scratch.parent;
+    runs.clear();
+    parent.clear();
+    // 8-connectivity also joins runs that only touch diagonally: widen the
+    // overlap test by one pixel on each side.
+    let margin = conn.margin();
+
+    let (mut prev_lo, mut prev_hi) = (0usize, 0usize);
+    for y in 0..h {
+        let row = &px[y * w..(y + 1) * w];
+        let row_lo = runs.len();
+        let mut p = prev_lo; // cursor over the previous row's runs
+        let mut x = 0usize;
+        while x < w {
+            // Skip background in 32-pixel blocks (the `any` over a fixed
+            // chunk vectorises), then byte-wise to the run start.
+            while x + 32 <= w && !row[x..x + 32].iter().any(|&b| b) {
+                x += 32;
+            }
+            if x >= w {
+                break;
+            }
+            if !row[x] {
+                x += 1;
+                continue;
+            }
+            let s = x as u32;
+            while x + 32 <= w && row[x..x + 32].iter().all(|&b| b) {
+                x += 32;
+            }
+            while x < w && row[x] {
+                x += 1;
+            }
+            let e = (x - 1) as u32;
+            push_run(runs, parent, y as u32, s, e, margin, &mut p, prev_hi);
+        }
+        prev_lo = row_lo;
+        prev_hi = runs.len();
+    }
+    resolve_runs(scratch);
+}
+
+/// [`label_into`] on a bit-packed mask: foreground runs come straight from
+/// the mask words via trailing-zeros/trailing-ones scans — a zero word skips
+/// 64 background pixels in one compare, and run ends inside a word are found
+/// without touching individual pixels. Run order, the union-find structure
+/// and the resolved statistics are identical to the byte extractor's, so
+/// the two paths label bit-identically.
+fn label_into_packed(mask: &BitMask, conn: Connectivity, scratch: &mut LabelScratch) {
+    let w = mask.width();
+    let h = mask.height() as usize;
+    let wpr = mask.words_per_row();
+    let words = mask.words();
+    let runs = &mut scratch.runs;
+    let parent = &mut scratch.parent;
+    runs.clear();
+    parent.clear();
+    let margin = conn.margin();
+
+    let (mut prev_lo, mut prev_hi) = (0usize, 0usize);
+    for y in 0..h {
+        let row = &words[y * wpr..(y + 1) * wpr];
+        let row_lo = runs.len();
+        let mut p = prev_lo; // cursor over the previous row's runs
+                             // Start of a run that is still open at the current word boundary.
+        let mut open: Option<u32> = None;
+        for (j, &w0) in row.iter().enumerate() {
+            let base = (j * WORD_BITS) as u32;
+            let mut word = w0;
+            if let Some(s) = open {
+                let ones = word.trailing_ones();
+                if ones == WORD_BITS as u32 {
+                    continue; // run spans the whole word, still open
+                }
+                push_run(
+                    runs,
+                    parent,
+                    y as u32,
+                    s,
+                    base + ones - 1,
+                    margin,
+                    &mut p,
+                    prev_hi,
+                );
+                open = None;
+                word &= !((1u64 << ones) - 1);
+            }
+            while word != 0 {
+                let tz = word.trailing_zeros();
+                let ones = (word >> tz).trailing_ones();
+                if tz + ones == WORD_BITS as u32 {
+                    open = Some(base + tz); // run reaches the word's MSB
+                    break;
+                }
+                push_run(
+                    runs,
+                    parent,
+                    y as u32,
+                    base + tz,
+                    base + tz + ones - 1,
+                    margin,
+                    &mut p,
+                    prev_hi,
+                );
+                word &= !(((1u64 << ones) - 1) << tz);
+            }
+        }
+        if let Some(s) = open {
+            // The tail invariant keeps bits ≥ width zero, so a run open at
+            // the last word boundary ends exactly at the image edge.
+            push_run(runs, parent, y as u32, s, w - 1, margin, &mut p, prev_hi);
+        }
+        prev_lo = row_lo;
+        prev_hi = runs.len();
+    }
+    resolve_runs(scratch);
 }
 
 /// Labels all foreground components with flood fill over the raw row-major
@@ -341,6 +447,46 @@ pub fn largest_component_with(
     Some(biggest)
 }
 
+/// [`label_components`] on a bit-packed mask. Labels, statistics and their
+/// order are bit-identical to the byte and BFS forms.
+pub fn label_components_packed(mask: &BitMask, conn: Connectivity) -> (Image<u32>, Vec<Component>) {
+    let mut scratch = LabelScratch::new();
+    label_into_packed(mask, conn, &mut scratch);
+    let w = mask.width() as usize;
+    let mut labels = vec![0u32; w * mask.height() as usize];
+    for (ri, &(y, s, e)) in scratch.runs.iter().enumerate() {
+        let base = y as usize * w;
+        labels[base + s as usize..=base + e as usize].fill(scratch.run_comp[ri] + 1);
+    }
+    (
+        Image::from_raw(mask.width(), mask.height(), labels),
+        scratch.comps,
+    )
+}
+
+/// [`largest_component_with`] on a bit-packed mask: labels via the
+/// word-scan run extractor and rebuilds the dominant blob into `out` with
+/// whole-word run stores. Ties on area resolve to the highest label, like
+/// the byte form.
+pub fn largest_component_packed_with(
+    mask: &BitMask,
+    conn: Connectivity,
+    out: &mut BitMask,
+    scratch: &mut LabelScratch,
+) -> Option<Component> {
+    label_into_packed(mask, conn, scratch);
+    let biggest = scratch.comps.iter().max_by_key(|c| c.area)?.clone();
+    out.reset_dimensions(mask.width(), mask.height());
+    out.fill(false);
+    let target = biggest.label - 1;
+    for (ri, &(y, s, e)) in scratch.runs.iter().enumerate() {
+        if scratch.run_comp[ri] == target {
+            out.set_run(y, s, e);
+        }
+    }
+    Some(biggest)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,6 +578,69 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn packed_labelling_matches_byte_path() {
+        // Widths straddling the word boundary so runs open and close across
+        // words, plus 1-px-tall and 1-px-wide degenerate masks.
+        for (w, h, salt) in [
+            (17u32, 13u32, 1u64),
+            (63, 5, 2),
+            (64, 48, 99),
+            (65, 9, 3),
+            (130, 21, 7),
+            (200, 1, 11),
+            (1, 40, 13),
+        ] {
+            let m = speckled(w, h, salt);
+            let packed = BitMask::from_bitmap(&m);
+            for conn in [Connectivity::Four, Connectivity::Eight] {
+                let (labels, comps) = label_components(&m, conn);
+                let (labels_p, comps_p) = label_components_packed(&packed, conn);
+                assert_eq!(labels, labels_p, "label image ({w}×{h}, {conn:?})");
+                assert_eq!(comps, comps_p, "components ({w}×{h}, {conn:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_labelling_handles_full_rows() {
+        // All-foreground rows exercise the run-spans-whole-word carry and
+        // the close-at-image-edge path for both ×64 and non-×64 widths.
+        for w in [64u32, 128, 65, 190] {
+            let m = {
+                let mut m = Bitmap::new(w, 3);
+                m.pixels_mut().fill(true);
+                m
+            };
+            let packed = BitMask::from_bitmap(&m);
+            let (_, comps) = label_components_packed(&packed, Connectivity::Four);
+            assert_eq!(comps.len(), 1, "width {w}");
+            assert_eq!(comps[0].area, (w * 3) as usize);
+            assert_eq!(comps[0].bbox, (0, 0, w - 1, 2));
+        }
+    }
+
+    #[test]
+    fn packed_largest_component_matches_byte_path() {
+        let mut out = Bitmap::new(1, 1);
+        let mut out_p = BitMask::new(1, 1);
+        let mut scratch = LabelScratch::new();
+        let mut scratch_p = LabelScratch::new();
+        for (w, h, salt) in [(33u32, 21u32, 3u64), (130, 17, 5), (64, 11, 8)] {
+            let m = speckled(w, h, salt);
+            let packed = BitMask::from_bitmap(&m);
+            let byte = largest_component_with(&m, Connectivity::Eight, &mut out, &mut scratch);
+            let fast = largest_component_packed_with(
+                &packed,
+                Connectivity::Eight,
+                &mut out_p,
+                &mut scratch_p,
+            );
+            assert_eq!(byte, fast, "component ({w}×{h})");
+            assert_eq!(out, out_p.to_bitmap(), "blob mask ({w}×{h})");
         }
     }
 

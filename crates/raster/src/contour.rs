@@ -6,6 +6,7 @@
 //! enough. Moore-neighbour tracing with Jacob's stopping criterion yields the
 //! boundary as a closed, ordered pixel sequence.
 
+use crate::bitmask::{BitMask, WORD_BITS};
 use crate::image::Bitmap;
 use hdc_geometry::Vec2;
 use serde::{Deserialize, Serialize};
@@ -67,9 +68,6 @@ pub fn trace_outer_contour(mask: &Bitmap) -> Option<Vec<ContourPoint>> {
 /// Returns `false` (with `out` left empty) when the mask is entirely
 /// background.
 pub fn trace_outer_contour_into(mask: &Bitmap, out: &mut Vec<ContourPoint>) -> bool {
-    out.clear();
-    let fg = |x: i64, y: i64| mask.get_padded(x, y);
-
     // Row-major scan for the start pixel; everything before it is background,
     // so its west neighbour is guaranteed background. Skip background in
     // 32-pixel blocks (the `any` over a fixed chunk vectorises).
@@ -83,11 +81,52 @@ pub fn trace_outer_contour_into(mask: &Bitmap, out: &mut Vec<ContourPoint>) -> b
         i += 1;
     }
     if i == n {
+        out.clear();
         return false;
     }
     let w = mask.width() as usize;
-    let (sx, sy) = ((i % w) as i64, (i / w) as i64);
+    let start = ((i % w) as i64, (i / w) as i64);
+    moore_walk(|x, y| mask.get_padded(x, y), start, mask.pixel_count(), out);
+    true
+}
 
+/// [`trace_outer_contour_into`] on a bit-packed mask: the start-pixel scan
+/// compares 64 pixels per word (zero words skip in one branch, the first set
+/// bit comes from `trailing_zeros`), then the same Moore walk runs over the
+/// packed accessor. The traced contour is bit-identical to the byte form's.
+pub fn trace_outer_contour_packed_into(mask: &BitMask, out: &mut Vec<ContourPoint>) -> bool {
+    let wpr = mask.words_per_row();
+    let words = mask.words();
+    // The tail invariant keeps padding bits zero, so the first set bit in
+    // the word array is exactly the row-major first foreground pixel.
+    let Some((j, &word)) = words.iter().enumerate().find(|(_, w)| **w != 0) else {
+        out.clear();
+        return false;
+    };
+    let y = (j / wpr) as i64;
+    let x = ((j % wpr) * WORD_BITS) as i64 + i64::from(word.trailing_zeros());
+    moore_walk(
+        |x, y| mask.get_padded(x, y),
+        (x, y),
+        (mask.width() * mask.height()) as usize,
+        out,
+    );
+    true
+}
+
+/// The Moore-neighbour boundary walk shared by the byte and packed tracers:
+/// starts at `start` (whose west neighbour must be background — guaranteed
+/// by a row-major start scan), probes the neighbourhood through `fg`, and
+/// stops by Jacob's criterion. `out` is cleared first and receives the
+/// ordered, closed boundary.
+fn moore_walk<F: Fn(i64, i64) -> bool>(
+    fg: F,
+    start: (i64, i64),
+    pixel_count: usize,
+    out: &mut Vec<ContourPoint>,
+) {
+    out.clear();
+    let (sx, sy) = start;
     out.push(ContourPoint {
         x: sx as u32,
         y: sy as u32,
@@ -99,7 +138,7 @@ pub fn trace_outer_contour_into(mask: &Bitmap, out: &mut Vec<ContourPoint>) -> b
     // out of the current pixel reproduces the very first move's resulting
     // state `(pixel, backtrack)` — i.e. the walk has started repeating.
     let mut first_move_state: Option<((i64, i64), usize)> = None;
-    let max_steps = 4 * mask.pixel_count() + 8;
+    let max_steps = 4 * pixel_count + 8;
 
     for _ in 0..max_steps {
         // Scan clockwise from just after the backtrack direction.
@@ -115,7 +154,7 @@ pub fn trace_outer_contour_into(mask: &Bitmap, out: &mut Vec<ContourPoint>) -> b
         }
         let Some((next, prev_bg_idx)) = found else {
             // isolated pixel
-            return true;
+            return;
         };
         // New backtrack: direction from `next` to the background pixel we
         // examined immediately before finding `next`.
@@ -145,7 +184,6 @@ pub fn trace_outer_contour_into(mask: &Bitmap, out: &mut Vec<ContourPoint>) -> b
     if out.len() > 1 && out.last() == out.first() {
         out.pop();
     }
-    true
 }
 
 /// Computes the perimeter length of a closed contour (Euclidean, with √2 for
@@ -295,6 +333,36 @@ mod tests {
         }
         assert!(!trace_outer_contour_into(&Bitmap::new(4, 4), &mut buf));
         assert!(buf.is_empty(), "empty mask clears the buffer");
+    }
+
+    #[test]
+    fn packed_trace_matches_byte_trace() {
+        let mut byte_buf = Vec::new();
+        let mut packed_buf = Vec::new();
+        for r in [6.0, 20.0, 35.0] {
+            let m = disk_mask(r);
+            let packed = BitMask::from_bitmap(&m);
+            assert!(trace_outer_contour_into(&m, &mut byte_buf));
+            assert!(trace_outer_contour_packed_into(&packed, &mut packed_buf));
+            assert_eq!(byte_buf, packed_buf, "radius {r}");
+        }
+        // Start pixel deep into a later word, blob crossing word boundaries.
+        let mut m = Bitmap::new(150, 9);
+        for y in 3..8 {
+            for x in 60..70 {
+                m.set(x, y, true);
+            }
+        }
+        let packed = BitMask::from_bitmap(&m);
+        assert!(trace_outer_contour_into(&m, &mut byte_buf));
+        assert!(trace_outer_contour_packed_into(&packed, &mut packed_buf));
+        assert_eq!(byte_buf, packed_buf);
+        // Empty mask clears the buffer and reports false.
+        assert!(!trace_outer_contour_packed_into(
+            &BitMask::new(70, 4),
+            &mut packed_buf
+        ));
+        assert!(packed_buf.is_empty());
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! the steady-state gate performs no heap allocation after the first frame
 //! at a given geometry.
 
+use crate::bitmask::{BitMask, WORD_BITS};
 use crate::image::GrayImage;
 
 /// Whole-frame sum of absolute pixel differences (the serial oracle).
@@ -175,6 +176,91 @@ pub fn coarse_sad(a: &[u32], b: &[u32]) -> u64 {
         .sum()
 }
 
+/// Number of differing pixels between two packed masks: XOR plus popcount,
+/// 64 pixels per word pair. Because both masks obey the tail invariant
+/// (padding bits zero), padding never contributes to the count. This is the
+/// binary analogue of [`frame_sad`] for mask-level change detection.
+///
+/// # Panics
+/// Panics if the masks differ in dimensions.
+pub fn mask_diff_count(a: &BitMask, b: &BitMask) -> u64 {
+    assert_mask_dims_match(a, b);
+    a.words()
+        .iter()
+        .zip(b.words())
+        .map(|(x, y)| u64::from((x ^ y).count_ones()))
+        .sum()
+}
+
+/// Per-tile differing-pixel counts between two packed masks over a
+/// `tile`×`tile` grid (edge tiles clipped), the popcount analogue of
+/// [`tile_sad_into`]: each XOR word is split at tile boundaries and each
+/// segment's popcount lands in its tile. `out` is resized to the tile count
+/// and filled row-major; totals equal [`mask_diff_count`] of the same pair.
+///
+/// # Panics
+/// Panics if the masks differ in dimensions or `tile` is zero.
+pub fn mask_tile_diff_into(a: &BitMask, b: &BitMask, tile: u32, out: &mut Vec<u64>) -> TileSummary {
+    assert_mask_dims_match(a, b);
+    assert!(tile > 0, "tile size must be positive");
+    let (w, h) = (a.width() as usize, a.height() as usize);
+    let t = tile as usize;
+    let tiles_x = w.div_ceil(t);
+    let tiles_y = h.div_ceil(t);
+    out.clear();
+    out.resize(tiles_x * tiles_y, 0);
+
+    let wpr = a.words_per_row();
+    for y in 0..h {
+        let row_a = &a.words()[y * wpr..(y + 1) * wpr];
+        let row_b = &b.words()[y * wpr..(y + 1) * wpr];
+        let tile_row = &mut out[(y / t) * tiles_x..][..tiles_x];
+        for (j, xor) in row_a.iter().zip(row_b).map(|(x, y)| x ^ y).enumerate() {
+            if xor == 0 {
+                continue;
+            }
+            // Split this word's 64 pixels at tile boundaries; each
+            // segment's popcount goes to its own tile.
+            let base = j * WORD_BITS;
+            let word_end = (base + WORD_BITS).min(w);
+            let mut seg_start = base;
+            while seg_start < word_end {
+                let tx = seg_start / t;
+                let seg_end = ((tx + 1) * t).min(word_end);
+                let lo = seg_start - base;
+                let len = seg_end - seg_start;
+                let segment = (xor >> lo) & (u64::MAX >> (WORD_BITS - len));
+                tile_row[tx] += u64::from(segment.count_ones());
+                seg_start = seg_end;
+            }
+        }
+    }
+
+    let mut max = 0u64;
+    let mut total = 0u64;
+    for &v in out.iter() {
+        max = max.max(v);
+        total += v;
+    }
+    TileSummary {
+        tiles_x: tiles_x as u32,
+        tiles_y: tiles_y as u32,
+        max,
+        total,
+    }
+}
+
+fn assert_mask_dims_match(a: &BitMask, b: &BitMask) {
+    assert!(
+        a.width() == b.width() && a.height() == b.height(),
+        "mask dimensions must match: {}x{} vs {}x{}",
+        a.width(),
+        a.height(),
+        b.width(),
+        b.height()
+    );
+}
+
 fn assert_dims_match(a: &GrayImage, b: &GrayImage) {
     assert!(
         a.width() == b.width() && a.height() == b.height(),
@@ -269,6 +355,71 @@ mod tests {
             tile_sad_into(&a, &b, 16, &mut tiles);
             assert_eq!(tiles.capacity(), cap);
         }
+    }
+
+    fn speckled_mask(w: u32, h: u32, salt: u64) -> BitMask {
+        let mut m = BitMask::new(w, h);
+        let mut state = salt | 1;
+        for y in 0..h {
+            for x in 0..w {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                m.set(x, y, (state >> 62) != 0);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn mask_diff_counts_differing_pixels() {
+        // Widths straddling word boundaries; compare against a per-pixel count.
+        for (w, h) in [(37u32, 23u32), (64, 8), (65, 5), (130, 11)] {
+            let a = speckled_mask(w, h, 3);
+            let b = speckled_mask(w, h, 17);
+            let expected: u64 = (0..h)
+                .map(|y| (0..w).filter(|&x| a.get(x, y) != b.get(x, y)).count() as u64)
+                .sum();
+            assert_eq!(mask_diff_count(&a, &b), expected, "{w}×{h}");
+            assert_eq!(mask_diff_count(&a, &a), 0);
+        }
+    }
+
+    #[test]
+    fn mask_tile_diff_matches_per_pixel_tiles() {
+        for (w, h, tile) in [(37u32, 23u32, 8u32), (130, 21, 16), (64, 8, 64), (65, 5, 7)] {
+            let a = speckled_mask(w, h, 5);
+            let b = speckled_mask(w, h, 23);
+            let mut tiles = Vec::new();
+            let s = mask_tile_diff_into(&a, &b, tile, &mut tiles);
+            assert_eq!(s.total, mask_diff_count(&a, &b), "{w}×{h} t{tile}");
+            assert_eq!(s.max, tiles.iter().copied().max().unwrap());
+            // Per-pixel oracle for every tile.
+            let (tx, ty) = (s.tiles_x, s.tiles_y);
+            for cy in 0..ty {
+                for cx in 0..tx {
+                    let mut count = 0u64;
+                    for y in cy * tile..((cy + 1) * tile).min(h) {
+                        for x in cx * tile..((cx + 1) * tile).min(w) {
+                            if a.get(x, y) != b.get(x, y) {
+                                count += 1;
+                            }
+                        }
+                    }
+                    assert_eq!(
+                        tiles[(cy * tx + cx) as usize],
+                        count,
+                        "tile ({cx},{cy}) of {w}×{h} t{tile}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mask dimensions must match")]
+    fn mismatched_mask_dims_rejected() {
+        mask_diff_count(&BitMask::new(4, 4), &BitMask::new(4, 5));
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! handful of image operations that pipeline actually needs, from scratch:
 //!
 //! * a generic [`Image`] container with a grayscale [`GrayImage`] alias,
+//! * a bit-packed binary mask ([`BitMask`], 64 px per word) with
+//!   word-parallel `*_packed` forms of every silhouette kernel,
 //! * rasterisation of disks, tapered capsules and polygons ([`draw`]),
 //! * fixed and Otsu [`threshold`]ing,
 //! * connected-component labelling ([`components`]),
@@ -30,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitmask;
 pub mod components;
 pub mod contour;
 pub mod diff;
@@ -41,9 +44,12 @@ pub mod morphology;
 pub mod noise;
 pub mod threshold;
 
+pub use bitmask::{BitMask, WORD_BITS};
 pub use components::{
-    label_components, label_components_bfs, largest_component, largest_component_with, Component,
-    Connectivity, LabelScratch,
+    label_components, label_components_bfs, label_components_packed, largest_component,
+    largest_component_packed_with, largest_component_with, Component, Connectivity, LabelScratch,
 };
-pub use contour::{trace_outer_contour, trace_outer_contour_into, ContourPoint};
+pub use contour::{
+    trace_outer_contour, trace_outer_contour_into, trace_outer_contour_packed_into, ContourPoint,
+};
 pub use image::{Bitmap, GrayImage, Image};

@@ -1,14 +1,21 @@
 //! Property-based tests for the raster substrate.
 
 use hdc_geometry::Vec2;
-use hdc_raster::contour::{contour_perimeter, trace_outer_contour};
+use hdc_raster::contour::{
+    contour_perimeter, trace_outer_contour, trace_outer_contour_into,
+    trace_outer_contour_packed_into,
+};
 use hdc_raster::diff;
 use hdc_raster::io::{decode_pgm, encode_pgm};
-use hdc_raster::morphology::{close, dilate, dilate_reference, erode, erode_reference, open};
-use hdc_raster::threshold::{binarize, otsu_threshold};
+use hdc_raster::morphology::{
+    close, close_packed_into, dilate, dilate_packed, dilate_reference, erode, erode_packed,
+    erode_reference, open, open_packed_into,
+};
+use hdc_raster::threshold::{binarize, binarize_packed, otsu_threshold};
 use hdc_raster::{
-    draw, label_components, label_components_bfs, largest_component, Bitmap, Connectivity,
-    GrayImage,
+    draw, label_components, label_components_bfs, label_components_packed, largest_component,
+    largest_component_packed_with, largest_component_with, BitMask, Bitmap, Connectivity,
+    GrayImage, LabelScratch,
 };
 use proptest::prelude::*;
 
@@ -152,6 +159,158 @@ proptest! {
         let per = contour_perimeter(&contour);
         let circ = std::f64::consts::TAU * r;
         prop_assert!((per - circ).abs() / circ < 0.2, "perimeter {} vs {}", per, circ);
+    }
+}
+
+/// Dimensions for the packed-kernel equivalence properties: widths biased
+/// to straddle the 64-pixel word boundary, plus 1-px-tall and 1-px-wide
+/// degenerate shapes.
+fn packed_dims() -> impl Strategy<Value = (u32, u32)> {
+    prop_oneof![
+        (60u32..70, 1u32..8),    // around one word
+        (120u32..134, 1u32..6),  // around two words
+        (1u32..24, 1u32..24),    // small, incl. 1-px-wide
+        (30u32..80, Just(1u32)), // 1-px-tall
+    ]
+}
+
+fn wide_gray() -> impl Strategy<Value = GrayImage> {
+    packed_dims().prop_flat_map(|(w, h)| {
+        prop::collection::vec(any::<u8>(), (w * h) as usize).prop_map(move |data| {
+            let mut img = GrayImage::new(w, h);
+            img.pixels_mut().copy_from_slice(&data);
+            img
+        })
+    })
+}
+
+fn wide_mask() -> impl Strategy<Value = Bitmap> {
+    wide_gray().prop_map(|g| g.map(|p| p > 128))
+}
+
+fn wide_mask_pair() -> impl Strategy<Value = (Bitmap, Bitmap)> {
+    packed_dims().prop_flat_map(|(w, h)| {
+        let n = (w * h) as usize;
+        (
+            prop::collection::vec(any::<bool>(), n),
+            prop::collection::vec(any::<bool>(), n),
+        )
+            .prop_map(move |(da, db)| {
+                let mut a = Bitmap::new(w, h);
+                a.pixels_mut().copy_from_slice(&da);
+                let mut b = Bitmap::new(w, h);
+                b.pixels_mut().copy_from_slice(&db);
+                (a, b)
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn packed_binarize_matches_byte_oracle(img in wide_gray(), t in any::<u8>()) {
+        // Thresholds 0, 127, 128, 255 are the SWAR sign-split corner cases;
+        // any::<u8>() covers them plus everything between over the run.
+        let packed = binarize_packed(&img, t);
+        prop_assert_eq!(packed.to_bitmap(), binarize(&img, t));
+        // Tail invariant: popcount equals the per-pixel foreground count.
+        prop_assert_eq!(packed.count_ones(), binarize(&img, t).count_foreground());
+    }
+
+    #[test]
+    fn packed_pack_unpack_roundtrip(m in wide_mask()) {
+        let packed = BitMask::from_bitmap(&m);
+        prop_assert_eq!(packed.to_bitmap(), m);
+    }
+
+    #[test]
+    fn packed_morphology_matches_byte_oracle(m in wide_mask()) {
+        let packed = BitMask::from_bitmap(&m);
+        prop_assert_eq!(erode_packed(&packed).to_bitmap(), erode(&m));
+        prop_assert_eq!(dilate_packed(&packed).to_bitmap(), dilate(&m));
+        let mut tmp = BitMask::new(1, 1);
+        let mut out = BitMask::new(1, 1);
+        open_packed_into(&packed, &mut tmp, &mut out);
+        prop_assert_eq!(out.to_bitmap(), open(&m));
+        close_packed_into(&packed, &mut tmp, &mut out);
+        prop_assert_eq!(out.to_bitmap(), close(&m));
+    }
+
+    #[test]
+    fn packed_labelling_matches_byte_oracle(m in wide_mask(), eight in any::<bool>()) {
+        let conn = if eight { Connectivity::Eight } else { Connectivity::Four };
+        let packed = BitMask::from_bitmap(&m);
+        let (labels, comps) = label_components(&m, conn);
+        let (labels_p, comps_p) = label_components_packed(&packed, conn);
+        prop_assert_eq!(labels, labels_p);
+        prop_assert_eq!(comps, comps_p);
+    }
+
+    #[test]
+    fn packed_largest_blob_matches_byte_oracle(m in wide_mask()) {
+        let packed = BitMask::from_bitmap(&m);
+        let mut out = Bitmap::new(1, 1);
+        let mut out_p = BitMask::new(1, 1);
+        let mut scratch = LabelScratch::new();
+        let mut scratch_p = LabelScratch::new();
+        let byte = largest_component_with(&m, Connectivity::Eight, &mut out, &mut scratch);
+        let fast = largest_component_packed_with(
+            &packed, Connectivity::Eight, &mut out_p, &mut scratch_p);
+        prop_assert_eq!(&byte, &fast);
+        if byte.is_some() {
+            prop_assert_eq!(out, out_p.to_bitmap());
+        }
+    }
+
+    #[test]
+    fn packed_contour_matches_byte_oracle(m in wide_mask()) {
+        let packed = BitMask::from_bitmap(&m);
+        let mut byte_buf = Vec::new();
+        let mut packed_buf = Vec::new();
+        let found = trace_outer_contour_into(&m, &mut byte_buf);
+        prop_assert_eq!(found, trace_outer_contour_packed_into(&packed, &mut packed_buf));
+        prop_assert_eq!(byte_buf, packed_buf);
+    }
+
+    #[test]
+    fn packed_tile_diff_matches_popcount_oracle((a, b) in wide_mask_pair(), tile in 1u32..9) {
+        let pa = BitMask::from_bitmap(&a);
+        let pb = BitMask::from_bitmap(&b);
+        // Whole-mask popcount diff vs the per-pixel definition.
+        let want: u64 = a.pixels().iter().zip(b.pixels())
+            .filter(|(x, y)| x != y).count() as u64;
+        prop_assert_eq!(diff::mask_diff_count(&pa, &pb), want);
+        // Tiled popcount diff: totals and every tile against a naive oracle.
+        let mut tiles = Vec::new();
+        let summary = diff::mask_tile_diff_into(&pa, &pb, tile, &mut tiles);
+        prop_assert_eq!(summary.total, want);
+        prop_assert_eq!(summary.max, tiles.iter().copied().max().unwrap_or(0));
+        for ty in 0..summary.tiles_y {
+            for tx in 0..summary.tiles_x {
+                let mut cell = 0u64;
+                for y in (ty * tile)..((ty + 1) * tile).min(a.height()) {
+                    for x in (tx * tile)..((tx + 1) * tile).min(a.width()) {
+                        if a.get(x, y) != b.get(x, y) {
+                            cell += 1;
+                        }
+                    }
+                }
+                prop_assert_eq!(tiles[(ty * summary.tiles_x + tx) as usize], cell);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_fingerprint_detects_any_flip(m in wide_mask(), bit in any::<u64>()) {
+        // Sampling every row (stride 1) must change the fingerprint for any
+        // single-pixel flip, because FNV-1a hashes every word.
+        let packed = BitMask::from_bitmap(&m);
+        let before = packed.fingerprint_sampled(1);
+        let x = (bit % u64::from(m.width())) as u32;
+        let y = ((bit / u64::from(m.width())) % u64::from(m.height())) as u32;
+        let mut flipped = packed.clone();
+        flipped.set(x, y, !flipped.get(x, y).unwrap());
+        prop_assert_ne!(before, flipped.fingerprint_sampled(1));
+        prop_assert_eq!(before, packed.fingerprint_sampled(1));
     }
 }
 

@@ -49,11 +49,11 @@ pub use filter::DecisionFilter;
 
 pub use moments::{central_moments, hu_moments, RawMoments};
 pub use pipeline::{
-    FrameFailure, FrameResult, FrameScratch, PipelineConfig, RecognitionPipeline,
+    FrameFailure, FrameResult, FrameScratch, KernelPath, PipelineConfig, RecognitionPipeline,
     RecognitionResult, SegmentationMode,
 };
 pub use signature::{
-    extract_signature, signature_from_contour, trace_contour_with, ShapeSignature, SignatureError,
-    SignatureScratch, SignatureStats, MIN_CONTOUR_POINTS,
+    extract_signature, signature_from_contour, trace_contour_packed_with, trace_contour_with,
+    ShapeSignature, SignatureError, SignatureScratch, SignatureStats, MIN_CONTOUR_POINTS,
 };
 pub use timing::{FrameBudget, StageTimings};

@@ -1,14 +1,15 @@
 //! The end-to-end recognition pipeline.
 
 use crate::signature::{
-    signature_from_contour, trace_contour_with, ShapeSignature, SignatureError, SignatureScratch,
-    SignatureStats,
+    signature_from_contour, trace_contour_packed_with, trace_contour_with, ShapeSignature,
+    SignatureError, SignatureScratch, SignatureStats,
 };
 use crate::timing::StageTimings;
 use hdc_figure::{render_sign, MarshallingSign, ViewSpec};
-use hdc_raster::threshold::{binarize_into, otsu_threshold};
+use hdc_raster::threshold::{binarize_into, binarize_packed_into, otsu_threshold};
 use hdc_raster::{
-    largest_component_with, morphology, Bitmap, Connectivity, GrayImage, LabelScratch,
+    largest_component_packed_with, largest_component_with, morphology, BitMask, Bitmap,
+    Connectivity, GrayImage, LabelScratch,
 };
 use hdc_sax::{IndexMatch, IndexMatchRef, QueryScratch, SaxIndex, SaxParams, SaxWord};
 use serde::{Deserialize, Serialize};
@@ -24,11 +25,29 @@ pub enum SegmentationMode {
     Otsu,
 }
 
+/// Which kernel family the silhouette stages run on.
+///
+/// Both produce bit-identical masks, contours and decisions (property-tested
+/// in `tests/packed_equivalence.rs`); they differ only in speed. The byte
+/// path is retained as the oracle and the honest "before" baseline for the
+/// committed benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum KernelPath {
+    /// One byte per pixel ([`Bitmap`]): the original kernels.
+    Byte,
+    /// 64 pixels per `u64` word ([`BitMask`]): word-parallel bit ops.
+    #[default]
+    Packed,
+}
+
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PipelineConfig {
     /// Segmentation mode.
     pub segmentation: SegmentationMode,
+    /// Kernel family for the silhouette stages (segment → morphology →
+    /// component → contour). Decisions are identical either way.
+    pub kernels: KernelPath,
     /// Whether to apply a morphological opening after segmentation
     /// (removes sensor speckle at the cost of one pass over the frame).
     pub denoise: bool,
@@ -56,6 +75,7 @@ impl Default for PipelineConfig {
     fn default() -> Self {
         PipelineConfig {
             segmentation: SegmentationMode::Fixed(128),
+            kernels: KernelPath::default(),
             denoise: false,
             signature_len: 128,
             sax: SaxParams::default(),
@@ -189,6 +209,14 @@ pub struct FrameScratch {
     opened: Bitmap,
     /// Isolated largest-component mask.
     blob: Bitmap,
+    /// Binarised frame, bit-packed ([`KernelPath::Packed`]).
+    mask_bits: BitMask,
+    /// Packed morphological-opening intermediate.
+    eroded_bits: BitMask,
+    /// Packed morphological-opening output.
+    opened_bits: BitMask,
+    /// Packed isolated largest-component mask.
+    blob_bits: BitMask,
     /// Connected-component labelling buffers.
     label: LabelScratch,
     /// Contour + signature buffers.
@@ -205,6 +233,10 @@ impl FrameScratch {
             eroded: Bitmap::new(1, 1),
             opened: Bitmap::new(1, 1),
             blob: Bitmap::new(1, 1),
+            mask_bits: BitMask::new(1, 1),
+            eroded_bits: BitMask::new(1, 1),
+            opened_bits: BitMask::new(1, 1),
+            blob_bits: BitMask::new(1, 1),
             label: LabelScratch::new(),
             sig: SignatureScratch::new(),
             query: QueryScratch::new(),
@@ -269,31 +301,60 @@ impl RecognitionPipeline {
         scratch: &mut FrameScratch,
         timings: &mut StageTimings,
     ) -> Result<SignatureStats, FrameFailure> {
-        let t0 = Instant::now();
-        match self.config.segmentation {
-            SegmentationMode::Fixed(t) => binarize_into(frame, t, &mut scratch.mask),
-            SegmentationMode::Otsu => {
-                binarize_into(frame, otsu_threshold(frame), &mut scratch.mask)
-            }
-        }
-        if self.config.denoise {
-            morphology::open_into(&scratch.mask, &mut scratch.eroded, &mut scratch.opened);
-        }
-        timings.segment_us = t0.elapsed().as_micros() as u64;
-        let mask = if self.config.denoise {
-            &scratch.opened
-        } else {
-            &scratch.mask
+        let threshold = match self.config.segmentation {
+            SegmentationMode::Fixed(t) => t,
+            SegmentationMode::Otsu => otsu_threshold(frame),
         };
-
-        let t1 = Instant::now();
-        let comp = largest_component_with(
-            mask,
-            Connectivity::Eight,
-            &mut scratch.blob,
-            &mut scratch.label,
-        );
-        timings.component_us = t1.elapsed().as_micros() as u64;
+        let comp = match self.config.kernels {
+            KernelPath::Byte => {
+                let t0 = Instant::now();
+                binarize_into(frame, threshold, &mut scratch.mask);
+                if self.config.denoise {
+                    morphology::open_into(&scratch.mask, &mut scratch.eroded, &mut scratch.opened);
+                }
+                timings.segment_us = t0.elapsed().as_micros() as u64;
+                let mask = if self.config.denoise {
+                    &scratch.opened
+                } else {
+                    &scratch.mask
+                };
+                let t1 = Instant::now();
+                let comp = largest_component_with(
+                    mask,
+                    Connectivity::Eight,
+                    &mut scratch.blob,
+                    &mut scratch.label,
+                );
+                timings.component_us = t1.elapsed().as_micros() as u64;
+                comp
+            }
+            KernelPath::Packed => {
+                let t0 = Instant::now();
+                binarize_packed_into(frame, threshold, &mut scratch.mask_bits);
+                if self.config.denoise {
+                    morphology::open_packed_into(
+                        &scratch.mask_bits,
+                        &mut scratch.eroded_bits,
+                        &mut scratch.opened_bits,
+                    );
+                }
+                timings.segment_us = t0.elapsed().as_micros() as u64;
+                let mask = if self.config.denoise {
+                    &scratch.opened_bits
+                } else {
+                    &scratch.mask_bits
+                };
+                let t1 = Instant::now();
+                let comp = largest_component_packed_with(
+                    mask,
+                    Connectivity::Eight,
+                    &mut scratch.blob_bits,
+                    &mut scratch.label,
+                );
+                timings.component_us = t1.elapsed().as_micros() as u64;
+                comp
+            }
+        };
         let Some(comp) = comp else {
             return Err(FrameFailure::NoBlob);
         };
@@ -305,7 +366,10 @@ impl RecognitionPipeline {
         }
 
         let t2 = Instant::now();
-        let traced = trace_contour_with(&scratch.blob, &mut scratch.sig);
+        let traced = match self.config.kernels {
+            KernelPath::Byte => trace_contour_with(&scratch.blob, &mut scratch.sig),
+            KernelPath::Packed => trace_contour_packed_with(&scratch.blob_bits, &mut scratch.sig),
+        };
         timings.contour_us = t2.elapsed().as_micros() as u64;
         traced.map_err(FrameFailure::Signature)?;
 

@@ -7,8 +7,10 @@
 //! reduces to circular-shift minimisation downstream.
 
 use hdc_geometry::Vec2;
-use hdc_raster::contour::{contour_centroid, trace_outer_contour_into};
-use hdc_raster::{Bitmap, ContourPoint};
+use hdc_raster::contour::{
+    contour_centroid, trace_outer_contour_into, trace_outer_contour_packed_into,
+};
+use hdc_raster::{BitMask, Bitmap, ContourPoint};
 use hdc_timeseries::{resample_into, znormalize_in_place};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -149,6 +151,28 @@ pub fn trace_contour_with(
     scratch: &mut SignatureScratch,
 ) -> Result<(), SignatureError> {
     if !trace_outer_contour_into(mask, &mut scratch.contour) {
+        return Err(SignatureError::EmptyMask);
+    }
+    if scratch.contour.len() < MIN_CONTOUR_POINTS {
+        return Err(SignatureError::BlobTooSmall {
+            contour_points: scratch.contour.len(),
+            required: MIN_CONTOUR_POINTS,
+        });
+    }
+    Ok(())
+}
+
+/// [`trace_contour_with`] on a bit-packed mask — the word-parallel kernel
+/// path. The traced contour (and therefore every downstream signature and
+/// decision) is bit-identical to the byte form's.
+///
+/// # Errors
+/// Same conditions as [`extract_signature`].
+pub fn trace_contour_packed_with(
+    mask: &BitMask,
+    scratch: &mut SignatureScratch,
+) -> Result<(), SignatureError> {
+    if !trace_outer_contour_packed_into(mask, &mut scratch.contour) {
         return Err(SignatureError::EmptyMask);
     }
     if scratch.contour.len() < MIN_CONTOUR_POINTS {

@@ -7,7 +7,7 @@
 
 use hdc_figure::{render_sign, MarshallingSign, ViewSpec};
 use hdc_raster::GrayImage;
-use hdc_vision::{FrameScratch, PipelineConfig, RecognitionPipeline};
+use hdc_vision::{FrameScratch, KernelPath, PipelineConfig, RecognitionPipeline};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -48,9 +48,12 @@ fn view_at(width: u32, azimuth_deg: f64) -> ViewSpec {
     v
 }
 
-#[test]
-fn recognize_with_is_allocation_free_after_warmup() {
-    let mut pipeline = RecognitionPipeline::new(PipelineConfig::default());
+fn assert_allocation_free(kernels: KernelPath) {
+    let config = PipelineConfig {
+        kernels,
+        ..PipelineConfig::default()
+    };
+    let mut pipeline = RecognitionPipeline::new(config);
     pipeline.calibrate_from_views(&ViewSpec::paper_default(0.0, 5.0, 3.0));
 
     // A mixed steady-state stream: several signs and azimuths, plus reject
@@ -104,7 +107,18 @@ fn recognize_with_is_allocation_free_after_warmup() {
     assert_eq!(
         after_pure - before_pure,
         0,
-        "steady-state recognize_with must not allocate (warm loop allocated {} times)",
+        "steady-state recognize_with ({kernels:?}) must not allocate \
+         (warm loop allocated {} times)",
         after - before
     );
+}
+
+#[test]
+fn recognize_with_is_allocation_free_after_warmup() {
+    assert_allocation_free(KernelPath::Byte);
+}
+
+#[test]
+fn packed_recognize_with_is_allocation_free_after_warmup() {
+    assert_allocation_free(KernelPath::Packed);
 }
