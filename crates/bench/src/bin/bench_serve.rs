@@ -1,0 +1,132 @@
+//! Serving-layer benchmark: canonical-workload latency SLOs and the
+//! sustained-capacity search.
+//!
+//! Serves the three golden workloads (steady / bursty / overload) through
+//! the deterministic `hdc-serve` scheduler, prints their decision-latency
+//! percentiles and outcome counters, runs the max-sustained-streams search
+//! against the p99 SLO, and writes the JSON report.
+//!
+//! Usage: `cargo run --release -p hdc-bench --bin bench_serve
+//! [--threads N] [--smoke] [out.json]`
+//!
+//! * `--threads N` — work-pool size the shards fan out over (default:
+//!   available parallelism). Latencies and capacity are virtual-time and
+//!   identical at every worker count; only `wall_s` changes;
+//! * `--smoke` — small capacity ladder plus floor assertions on the
+//!   canonical shapes (the CI conformance mode);
+//! * default output path `BENCH_serve.json` in the current directory.
+
+use hdc_bench::report::{num, Table};
+use hdc_bench::serve::{
+    canonical_study, max_sustained_streams, serve_json, serving_fixture, CapacitySearch,
+};
+use hdc_runtime::{available_workers, threads_from_args, WorkPool};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let threads = threads_from_args(&args);
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => i += 1, // skip the flag's value
+            "--smoke" => {}
+            a if !a.starts_with("--") => out_path = a.to_owned(),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
+
+    let pool = WorkPool::with_threads(threads);
+    println!(
+        "serving study on {} worker(s) (host has {} hardware thread(s)){}",
+        pool.workers(),
+        available_workers(),
+        if smoke { " [smoke]" } else { "" }
+    );
+    let (pipeline, frame_sets) = serving_fixture();
+
+    let runs = canonical_study(&pipeline, &frame_sets, &pool);
+    let mut table = Table::new([
+        "workload", "offered", "decided", "shed", "rejected", "evict", "p50 us", "p95 us",
+        "p99 us", "wall s",
+    ]);
+    for run in &runs {
+        let r = &run.report;
+        table.row([
+            run.name.to_string(),
+            r.offered().to_string(),
+            r.decided().to_string(),
+            r.shed().to_string(),
+            (r.rejected_budget() + r.rejected_queue()).to_string(),
+            r.evictions().to_string(),
+            r.p50_us().to_string(),
+            r.p95_us().to_string(),
+            r.p99_us().to_string(),
+            num(run.wall_s, 3),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let search = if smoke {
+        CapacitySearch::smoke()
+    } else {
+        CapacitySearch::standard()
+    };
+    println!(
+        "capacity search: ~30 fps streams on {} shard(s), SLO p99 <= {} us, ladder to {}...",
+        search.shards, search.slo_p99_us, search.max_probe_streams
+    );
+    let capacity = max_sustained_streams(&pipeline, &frame_sets, &pool, &search);
+    for p in &capacity.probes {
+        println!(
+            "  {:>5} streams: p99 {:>7} us, dropped {:>5} -> {}",
+            p.streams,
+            p.p99_us,
+            p.dropped,
+            if p.healthy { "ok" } else { "SLO broken" }
+        );
+    }
+    println!(
+        "max sustained streams at SLO: {}",
+        capacity.max_sustained_streams
+    );
+
+    if smoke {
+        // conformance floors: the regimes must keep their blessed shapes
+        let by_name = |n: &str| runs.iter().find(|r| r.name == n).expect("canonical run");
+        let steady = &by_name("steady").report;
+        assert_eq!(
+            steady.decided(),
+            steady.offered(),
+            "steady must serve every offered frame"
+        );
+        assert!(
+            steady.restores() > 0,
+            "steady must churn the LRU spill path"
+        );
+        let bursty = &by_name("bursty").report;
+        assert!(
+            bursty.rejected_budget() > 0,
+            "bursty must trip the token bucket"
+        );
+        let overload = &by_name("overload").report;
+        assert!(overload.shed() > 0, "overload must shed");
+        let cfg = hdc_serve::workload::overload().config;
+        assert!(
+            overload.p99_us() <= cfg.deadline_us + cfg.costs.full_run_us + cfg.costs.fault_in_us,
+            "overload decided-frame latency must stay structurally bounded"
+        );
+        assert!(
+            capacity.max_sustained_streams >= 32,
+            "even the smoke fleet must sustain 32 streams (got {})",
+            capacity.max_sustained_streams
+        );
+        println!("smoke floors hold");
+    }
+
+    let json = serve_json(pool.workers(), threads, &runs, &search, &capacity);
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    println!("wrote {out_path}");
+}

@@ -15,6 +15,7 @@ pub mod frames;
 pub mod kernels;
 pub mod report;
 pub mod scaling;
+pub mod serve;
 pub mod streams;
 pub mod throughput;
 

@@ -42,6 +42,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod splitmix;
+pub mod vclock;
+
+pub use splitmix::SplitMix64;
+pub use vclock::{Micros, VirtualClock};
+
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;

@@ -1,0 +1,167 @@
+//! Seeded arrival processes: when each stream's frames reach the server.
+//!
+//! Every arrival time is exact integer microseconds derived from a
+//! per-stream [`SplitMix64`] substream of one root seed — a pure function
+//! of `(spec, stream index)`. Streams never consult each other or a wall
+//! clock, so a workload's full arrival schedule is reproducible bit-for-bit
+//! on any machine at any worker count, which is what makes the serving
+//! trace golden-testable.
+//!
+//! The generator covers the three canonical serving regimes:
+//! * **steady** — fixed nominal period with bounded uniform jitter (a
+//!   camera at ~30 fps with sensor timing noise);
+//! * **bursty** — the same, punctuated by long off-gaps every
+//!   [`BurstSpec::burst_len`] frames (event-triggered cameras, wake/sleep
+//!   duty cycles) with a faster in-burst cadence;
+//! * **overload** — a period chosen below the service capacity of the
+//!   configured shard count, so shedding and rejection are exercised.
+
+use hdc_runtime::{Micros, SplitMix64};
+
+/// Burst structure layered over the nominal cadence: after every
+/// `burst_len` frames the stream goes quiet for `gap_us` before the next
+/// burst begins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstSpec {
+    /// Frames per burst (must be ≥ 1).
+    pub burst_len: usize,
+    /// Quiet gap inserted between bursts, in virtual microseconds.
+    pub gap_us: Micros,
+}
+
+/// A seeded arrival process for a fleet of streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrivalSpec {
+    /// Number of concurrent streams.
+    pub streams: usize,
+    /// Arrivals (frames offered) per stream.
+    pub frames_per_stream: usize,
+    /// Nominal inter-arrival period in virtual microseconds (33_333 ≈ 30 fps).
+    pub period_us: Micros,
+    /// Uniform jitter in `[0, jitter_us]` added to every gap (0 = strictly
+    /// periodic).
+    pub jitter_us: Micros,
+    /// Optional burst/gap structure.
+    pub burst: Option<BurstSpec>,
+    /// Root seed; stream `i` draws from `SplitMix64::stream(seed, i)`.
+    pub seed: u64,
+}
+
+impl ArrivalSpec {
+    /// Total frames the whole fleet offers.
+    pub fn offered(&self) -> usize {
+        self.streams * self.frames_per_stream
+    }
+
+    /// The arrival times of one stream's frames, strictly increasing, in
+    /// virtual microseconds. Pure in `(self, stream)`.
+    ///
+    /// Each stream starts at a seeded phase offset inside one period (so a
+    /// fleet never arrives in lock-step), then advances by
+    /// `period + U[0, jitter]` per frame, with the burst gap inserted at
+    /// burst boundaries.
+    ///
+    /// # Panics
+    /// Panics if `period_us` is zero, if `stream` is out of range, or if a
+    /// configured burst has `burst_len == 0`.
+    pub fn stream_arrivals(&self, stream: usize) -> Vec<Micros> {
+        assert!(self.period_us > 0, "arrival period must be positive");
+        assert!(stream < self.streams, "stream {stream} out of range");
+        let mut rng = SplitMix64::stream(self.seed, stream as u64);
+        let mut t = rng.below(self.period_us); // phase offset
+        let mut out = Vec::with_capacity(self.frames_per_stream);
+        for frame in 0..self.frames_per_stream {
+            if let Some(burst) = self.burst {
+                assert!(burst.burst_len > 0, "burst_len must be positive");
+                if frame > 0 && frame % burst.burst_len == 0 {
+                    t += burst.gap_us;
+                }
+            }
+            out.push(t);
+            let jitter = if self.jitter_us > 0 {
+                rng.below(self.jitter_us + 1)
+            } else {
+                0
+            };
+            t += self.period_us + jitter;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ArrivalSpec {
+        ArrivalSpec {
+            streams: 4,
+            frames_per_stream: 32,
+            period_us: 33_333,
+            jitter_us: 2_000,
+            burst: None,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing_and_pure() {
+        let s = spec();
+        for stream in 0..s.streams {
+            let a = s.stream_arrivals(stream);
+            assert_eq!(a.len(), s.frames_per_stream);
+            assert!(a.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+            assert_eq!(a, s.stream_arrivals(stream), "pure in (spec, stream)");
+        }
+    }
+
+    #[test]
+    fn streams_are_phase_decorrelated() {
+        let s = spec();
+        assert_ne!(s.stream_arrivals(0), s.stream_arrivals(1));
+        // phase offsets land inside the first period
+        for stream in 0..s.streams {
+            assert!(s.stream_arrivals(stream)[0] < s.period_us);
+        }
+    }
+
+    #[test]
+    fn gaps_stay_within_period_plus_jitter() {
+        let s = spec();
+        let a = s.stream_arrivals(2);
+        for w in a.windows(2) {
+            let gap = w[1] - w[0];
+            assert!(gap >= s.period_us && gap <= s.period_us + s.jitter_us);
+        }
+    }
+
+    #[test]
+    fn bursts_insert_the_off_gap() {
+        let mut s = spec();
+        s.jitter_us = 0;
+        s.burst = Some(BurstSpec {
+            burst_len: 8,
+            gap_us: 500_000,
+        });
+        let a = s.stream_arrivals(0);
+        for (i, w) in a.windows(2).enumerate() {
+            let gap = w[1] - w[0];
+            if (i + 1) % 8 == 0 {
+                assert_eq!(gap, s.period_us + 500_000, "burst boundary at {i}");
+            } else {
+                assert_eq!(gap, s.period_us);
+            }
+        }
+    }
+
+    #[test]
+    fn offered_is_the_product() {
+        assert_eq!(spec().offered(), 4 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_stream_rejected() {
+        spec().stream_arrivals(99);
+    }
+}

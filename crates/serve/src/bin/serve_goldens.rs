@@ -1,0 +1,166 @@
+//! Serving golden-trace conformance entry point (the CI `serving` steps).
+//!
+//! Serves the three canonical workloads (steady / bursty / overload) through
+//! the deterministic scheduler and compares each canonical trace digest
+//! against the blessed manifest in `tests/golden/serve_digests.txt`.
+//!
+//! * `--threads N` sizes the work pool the shards fan out over. The serving
+//!   trace is byte-identical at every worker count by construction — CI runs
+//!   this binary at `--threads 1`, `2` and `4` against the *same* manifest
+//!   to prove it;
+//! * `--bless` rewrites the manifest from the current run (review the
+//!   behavioural diff first);
+//! * any digest drift or violated workload-shape expectation exits non-zero.
+
+use hdc_runtime::{threads_from_args, WorkPool};
+use hdc_serve::workload::{
+    canonical_workloads, format_manifest, golden_frame_sets, golden_path, golden_pipeline,
+    parse_manifest,
+};
+use hdc_serve::{serve, ServeInput, ServeReport};
+use std::process::ExitCode;
+
+/// The per-workload structural expectations that must hold before a digest
+/// is even worth comparing (a digest of a degenerate run is still a digest).
+fn shape_violations(name: &str, report: &ServeReport) -> Vec<String> {
+    let mut v = Vec::new();
+    let mut expect = |ok: bool, what: &str| {
+        if !ok {
+            v.push(format!("{name}: expected {what}"));
+        }
+    };
+    expect(report.decided() > 0, "some decided frames");
+    expect(
+        report.offered() == report.admitted() + report.rejected_budget() + report.rejected_queue(),
+        "offered = admitted + rejections",
+    );
+    expect(
+        report.admitted() == report.decided() + report.shed(),
+        "admitted = decided + shed",
+    );
+    match name {
+        "steady" => {
+            expect(report.shed() == 0, "no sheds under light steady load");
+            expect(
+                report.rejected_budget() == 0 && report.rejected_queue() == 0,
+                "no rejections under light steady load",
+            );
+            expect(report.evictions() > 0, "resident bound forces evictions");
+            expect(report.restores() > 0, "spill makes evictions restorable");
+        }
+        "bursty" => {
+            expect(
+                report.rejected_budget() > 0,
+                "token bucket pushes back on bursts",
+            );
+            expect(report.shed() == 0, "budget regulation prevents sheds");
+        }
+        "overload" => {
+            expect(report.shed() > 0, "2x load sheds late frames");
+            expect(
+                report.rejected_queue() > 0,
+                "2x load overflows the bounded queue",
+            );
+        }
+        _ => v.push(format!("{name}: unknown workload")),
+    }
+    v
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let bless = args.iter().any(|a| a == "--bless");
+    let pool = WorkPool::with_threads(threads_from_args(&args));
+    let pipeline = golden_pipeline();
+    let frame_sets = golden_frame_sets();
+
+    let mut rows: Vec<(String, String, usize, usize, usize)> = Vec::new();
+    let mut violations = Vec::new();
+    println!(
+        "serving {} canonical workloads on {} worker(s)...",
+        canonical_workloads().len(),
+        pool.workers()
+    );
+    for w in canonical_workloads() {
+        let input = ServeInput {
+            frame_sets: &frame_sets,
+            arrivals: &w.arrivals,
+        };
+        let report = serve(&pipeline, &input, &w.config, &pool);
+        println!(
+            "  {:<10} {}  offered {:>5}  decided {:>5}  shed {:>4}  rejected {:>4}  \
+             evict {:>4}  p99 {:>6}us",
+            w.name,
+            report.digest(),
+            report.offered(),
+            report.decided(),
+            report.shed(),
+            report.rejected_budget() + report.rejected_queue(),
+            report.evictions(),
+            report.p99_us()
+        );
+        violations.extend(shape_violations(w.name, &report));
+        rows.push((
+            w.name.to_owned(),
+            report.digest(),
+            report.decided(),
+            report.shed(),
+            report.rejected_budget() + report.rejected_queue(),
+        ));
+    }
+    for v in &violations {
+        eprintln!("  SHAPE VIOLATION: {v}");
+    }
+    if !violations.is_empty() {
+        return ExitCode::FAILURE;
+    }
+
+    if bless {
+        std::fs::create_dir_all(std::path::Path::new(golden_path()).parent().unwrap())
+            .expect("create tests/golden");
+        std::fs::write(golden_path(), format_manifest(&rows)).expect("write golden manifest");
+        println!("blessed {} rows into {}", rows.len(), golden_path());
+        return ExitCode::SUCCESS;
+    }
+
+    let committed = match std::fs::read_to_string(golden_path()) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!(
+                "no golden manifest at {} ({e}); run with --bless to create it",
+                golden_path()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let committed_rows = parse_manifest(&committed);
+    let mut drift = 0;
+    for row in &rows {
+        match committed_rows.iter().find(|c| c.0 == row.0) {
+            Some(c) if c == row => {}
+            Some(c) => {
+                eprintln!(
+                    "GOLDEN DRIFT {}: have {}/{}d/{}s/{}r, committed {}/{}d/{}s/{}r",
+                    row.0, row.1, row.2, row.3, row.4, c.1, c.2, c.3, c.4
+                );
+                drift += 1;
+            }
+            None => {
+                eprintln!("GOLDEN DRIFT {}: not in the committed manifest", row.0);
+                drift += 1;
+            }
+        }
+    }
+    for c in &committed_rows {
+        if !rows.iter().any(|r| r.0 == c.0) {
+            eprintln!("GOLDEN DRIFT {}: committed but no longer produced", c.0);
+            drift += 1;
+        }
+    }
+    if drift > 0 {
+        eprintln!("{drift} golden serving-trace mismatches (bless after reviewing the diff)");
+        return ExitCode::FAILURE;
+    }
+    println!("all {} serving digests match", rows.len());
+    ExitCode::SUCCESS
+}

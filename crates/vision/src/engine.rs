@@ -23,7 +23,6 @@ use crate::pipeline::{FrameResult, FrameScratch, RecognitionPipeline};
 use crate::temporal::{GateCounters, StreamRecognizer, TemporalConfig};
 use hdc_raster::GrayImage;
 use hdc_runtime::WorkPool;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// The owned, deterministic outcome of recognising one frame in a batch:
@@ -76,6 +75,19 @@ pub struct StreamStats {
     pub gate: GateCounters,
 }
 
+impl StreamStats {
+    /// Fraction of this stream's frames the gate resolved without a full
+    /// pipeline run (0 for an empty stream) — the per-stream number a
+    /// serving layer budgets against, as opposed to the fleet aggregate.
+    pub fn hit_rate(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.gate.hits() as f64 / self.frames as f64
+        }
+    }
+}
+
 /// The outcome of a sustained multi-stream run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MultiStreamReport {
@@ -103,11 +115,22 @@ impl MultiStreamReport {
         self.per_stream[stream].frames as f64 / self.seconds
     }
 
+    /// Total frames that produced an accepted decision, across all streams.
+    pub fn decided_total(&self) -> usize {
+        self.per_stream.iter().map(|s| s.decided).sum()
+    }
+
     /// Aggregate gate counters across all streams.
     pub fn gate_totals(&self) -> GateCounters {
         self.per_stream
             .iter()
             .fold(GateCounters::default(), |acc, s| acc.plus(&s.gate))
+    }
+
+    /// One stream's gate counters (the per-stream view `gate_totals`
+    /// aggregates away).
+    pub fn stream_gate(&self, stream: usize) -> GateCounters {
+        self.per_stream[stream].gate
     }
 }
 
@@ -229,7 +252,6 @@ impl RecognitionEngine {
             Self::recognize_one(&self.pipeline, &mut warm, &s[0]);
         }
 
-        let decided_total = AtomicUsize::new(0); // aggregate sanity counter
         let start = Instant::now();
         let per_stream = self.pool.map_indexed(
             &stream_ids,
@@ -260,7 +282,6 @@ impl RecognitionEngine {
                     }
                 }
                 stats.gate = recognizer.counters().since(&counters_before);
-                decided_total.fetch_add(stats.decided, Ordering::Relaxed);
                 stats
             },
         );
@@ -380,5 +401,46 @@ mod tests {
     #[should_panic(expected = "at least one frame")]
     fn empty_stream_rejected() {
         engine(1).run_streams(&[Vec::new()], 1, 0.0);
+    }
+
+    #[test]
+    fn gated_run_attributes_counters_per_stream() {
+        // The per-stream view the serving layer budgets against: each
+        // stream's gate counters must cover exactly its own frames, and the
+        // aggregate must be their sum — nothing double-counted, nothing
+        // attributed to the wrong stream.
+        let e = engine(2);
+        let yes = render_sign(
+            MarshallingSign::Yes,
+            &ViewSpec::paper_default(0.0, 5.0, 3.0),
+        );
+        let no = render_sign(MarshallingSign::No, &ViewSpec::paper_default(0.0, 5.0, 3.0));
+        // stream 0: pure hold (one distinct frame) — near-100% hit rate;
+        // stream 1: alternating signs — the gate can never hit
+        let streams = vec![vec![yes.clone(), yes.clone()], vec![yes, no]];
+        let report =
+            e.run_streams_gated(&streams, 4, 0.0, crate::temporal::TemporalConfig::strict());
+
+        let mut summed = GateCounters::default();
+        for (i, s) in report.per_stream.iter().enumerate() {
+            assert_eq!(
+                s.gate.frames(),
+                s.frames,
+                "stream {i}: gate counters must cover exactly its frames"
+            );
+            assert_eq!(report.stream_gate(i), s.gate);
+            summed = summed.plus(&s.gate);
+        }
+        assert_eq!(report.gate_totals(), summed);
+        assert_eq!(
+            report.decided_total(),
+            report.per_stream.iter().map(|s| s.decided).sum::<usize>()
+        );
+
+        // the hold stream hits (only its first frame recomputes), the
+        // alternating stream never does — visible only per-stream
+        assert!(report.per_stream[0].hit_rate() > 0.5);
+        assert_eq!(report.per_stream[1].gate.hits(), 0);
+        assert_eq!(report.per_stream[1].hit_rate(), 0.0);
     }
 }
