@@ -1,9 +1,10 @@
 //! Sustained-throughput benchmark for the recognition pipeline.
 //!
 //! Measures the seed implementation (rebuilt from the retained reference
-//! oracles) against the optimised byte-kernel path (the PR 1 level) and the
-//! bit-packed word-parallel path at 320×240, 640×480 and 1280×960, prints a
-//! comparison table and writes the JSON report.
+//! oracles) against the optimised byte-kernel path (the PR 1 level), the
+//! bit-packed word-parallel path, and the default hybrid path (byte
+//! binarise, pack once, packed silhouette kernels) at 320×240, 640×480 and
+//! 1280×960, prints a comparison table and writes the JSON report.
 //!
 //! Usage:
 //! `cargo run --release -p hdc-bench --bin bench_recognize [--kernels] [--smoke] [out.json]`
@@ -38,26 +39,26 @@ fn main() {
 
     let mut table = Table::new([
         "resolution",
-        "seed fps",
         "seed ms/f",
-        "byte fps",
         "byte ms/f",
-        "packed fps",
         "packed ms/f",
+        "hybrid ms/f",
+        "hybrid fps",
         "vs seed",
         "vs byte",
+        "vs packed",
     ]);
     for r in &results {
         table.row([
             format!("{}x{}", r.width, r.height),
-            num(r.seed.fps(), 1),
             num(r.seed.ms_per_frame(), 3),
-            num(r.byte.fps(), 1),
             num(r.byte.ms_per_frame(), 3),
-            num(r.packed.fps(), 1),
             num(r.packed.ms_per_frame(), 3),
-            format!("{:.2}x", r.speedup_packed()),
-            format!("{:.2}x", r.speedup_packed_vs_byte()),
+            num(r.hybrid.ms_per_frame(), 3),
+            num(r.hybrid.fps(), 1),
+            format!("{:.2}x", r.speedup_hybrid()),
+            format!("{:.2}x", r.hybrid.fps() / r.byte.fps()),
+            format!("{:.2}x", r.speedup_hybrid_vs_packed()),
         ]);
     }
     println!("{}", table.render());

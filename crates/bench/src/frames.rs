@@ -38,7 +38,7 @@ pub fn sign_stream(width: u32, height: u32) -> Vec<GrayImage> {
 }
 
 /// The calibrated pipeline every benchmark implementation shares (default
-/// kernel path, i.e. packed).
+/// kernel path, i.e. hybrid).
 pub fn benchmark_pipeline() -> RecognitionPipeline {
     benchmark_pipeline_with(KernelPath::default())
 }

@@ -111,18 +111,21 @@ pub struct SessionLink {
     supervisor_ep: Endpoint<ProtocolAction, LinkEvent>,
     up: LossyChannel<Frame<LinkEvent>>,
     down: LossyChannel<Frame<ProtocolAction>>,
+    lease_timeout_s: f64,
     drone_lease_lost: bool,
     supervisor_lease_lost: bool,
 }
 
+/// How far past the exact lease-expiry instant the scheduler pumps: the
+/// expiry predicate is a strict inequality, so landing exactly on the edge
+/// would not observe it.
+const LEASE_EDGE_S: f64 = 1e-6;
+
 /// Derives an independent stream seed from the session seed and a salt —
-/// the same SplitMix64 finaliser the rest of the workspace uses, so the
-/// link never shares draws with the human or the wind process.
+/// the shared SplitMix64 finaliser, so the link never shares draws with the
+/// human or the wind process.
 fn derive_seed(seed: u64, salt: u64) -> u64 {
-    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    hdc_runtime::mix(seed ^ salt.wrapping_mul(hdc_runtime::GOLDEN_GAMMA))
 }
 
 impl SessionLink {
@@ -134,6 +137,7 @@ impl SessionLink {
             supervisor_ep: Endpoint::new(config.endpoint, config.lease, derive_seed(seed, 2), now),
             up: LossyChannel::new(config.uplink, derive_seed(seed, 3)),
             down: LossyChannel::new(config.downlink, derive_seed(seed, 4)),
+            lease_timeout_s: config.lease.timeout_s,
             drone_lease_lost: false,
             supervisor_lease_lost: false,
         }
@@ -178,6 +182,45 @@ impl SessionLink {
             drone_lease_expired,
             supervisor_lease_expired,
         }
+    }
+
+    /// Earliest future time this link has work: an endpoint retransmission,
+    /// heartbeat or pending ack, an in-flight copy becoming deliverable, or
+    /// a lease expiring. `None` only if nothing will ever be due (cannot
+    /// happen in practice — endpoints always heartbeat). An event-driven
+    /// scheduler pumps the link at this time instead of every tick; a quiet
+    /// link between heartbeats costs zero work.
+    pub fn next_due(&self, now: f64) -> Option<f64> {
+        let mut due = self
+            .drone_ep
+            .next_due(now)
+            .min(self.supervisor_ep.next_due(now));
+        if let Some(t) = self.up.next_due() {
+            due = due.min(t);
+        }
+        if let Some(t) = self.down.next_due() {
+            due = due.min(t);
+        }
+        // lease expiry is an edge the pump must observe: schedule the first
+        // instant strictly past `last_heard + timeout` for whichever lease
+        // has not latched yet
+        for (latched, ep_last_heard, timeout) in [
+            (
+                self.drone_lease_lost,
+                self.drone_ep.last_heard(),
+                self.lease_timeout_s,
+            ),
+            (
+                self.supervisor_lease_lost,
+                self.supervisor_ep.last_heard(),
+                self.lease_timeout_s,
+            ),
+        ] {
+            if !latched {
+                due = due.min((ep_last_heard + timeout).max(now) + LEASE_EDGE_S);
+            }
+        }
+        Some(due)
     }
 
     /// Whether every sent payload has been acknowledged and nothing is in
@@ -240,6 +283,56 @@ mod tests {
         assert_eq!(supervisor_expiries, 1, "supervisor lease latches once");
         let report = link.report();
         assert!(report.drone_lease_expired && report.supervisor_lease_expired);
+    }
+
+    #[test]
+    fn next_due_lets_a_quiet_link_sleep_between_heartbeats() {
+        let mut link = SessionLink::new(DatalinkConfig::clean(), 7, 0.0);
+        link.pump(0.0);
+        let due = link.next_due(0.0).unwrap();
+        assert!(
+            due >= 0.5 - 1e-9,
+            "a quiet link's next work is the heartbeat slot, got {due}"
+        );
+        // queued traffic is due immediately (first transmission slot)
+        link.send_event(0.1, LinkEvent::Arrived);
+        assert!(link.next_due(0.1).unwrap() <= 0.1 + 1e-9);
+        // pumping at each due time (never in between) still delivers
+        let mut now = 0.1;
+        let mut events = Vec::new();
+        for _ in 0..50 {
+            now = link.next_due(now).unwrap().max(now);
+            events.extend(link.pump(now).events);
+            if link.is_quiet() {
+                break;
+            }
+        }
+        assert_eq!(events, vec![LinkEvent::Arrived]);
+        assert!(link.is_quiet());
+    }
+
+    #[test]
+    fn next_due_covers_the_lease_expiry_edge() {
+        let quality = LinkQuality::clean().with_partition(0.5, 1000.0);
+        let mut config = DatalinkConfig::symmetric(quality);
+        config.lease.timeout_s = 2.0;
+        let mut link = SessionLink::new(config, 9, 0.0);
+        // event-driven pumping only at next_due times must still latch both
+        // lease expiries (the partition silences every heartbeat)
+        let mut now = 0.0;
+        let (mut drone_lost, mut supervisor_lost) = (false, false);
+        for _ in 0..200 {
+            let pump = link.pump(now);
+            drone_lost |= pump.drone_lease_expired;
+            supervisor_lost |= pump.supervisor_lease_expired;
+            if drone_lost && supervisor_lost {
+                break;
+            }
+            now = link.next_due(now).unwrap().max(now);
+        }
+        assert!(drone_lost, "drone lease must expire under partition");
+        assert!(supervisor_lost, "supervisor lease must expire");
+        assert!(now < 10.0, "expiry observed promptly, got t={now}");
     }
 
     #[test]

@@ -212,6 +212,13 @@ impl NegotiationMachine {
         &self.config
     }
 
+    /// The absolute time of the next timeout [`NegotiationMachine::poll`]
+    /// would fire, if one is armed — what an event-driven scheduler sleeps
+    /// until instead of polling every tick.
+    pub fn next_deadline(&self) -> Option<f64> {
+        self.deadline
+    }
+
     /// The outcome, if terminal.
     pub fn outcome(&self) -> SessionOutcome {
         match self.state {

@@ -125,6 +125,18 @@ pub trait SessionFaults: std::fmt::Debug {
     fn role_change(&mut self, _t: f64) -> Option<Role> {
         None
     }
+
+    /// The next absolute time at which this layer needs the session to take
+    /// a step it would not otherwise take (e.g. a scheduled role change), or
+    /// `None` when the layer rides the session's own events. Consulted by
+    /// the event-driven scheduler only; lockstep mode steps every `DT`
+    /// regardless. Per-step hooks that are linear in the step span (a
+    /// constant heading-drift rate) coalesce exactly and need no deadline;
+    /// layers with genuinely time-varying per-step behaviour should override
+    /// this to cap the coalescing window.
+    fn next_due(&mut self, _now: f64) -> Option<f64> {
+        None
+    }
 }
 
 /// Session parameters.
@@ -289,6 +301,7 @@ pub struct CollaborationSession {
     rng: SmallRng,
     log: EventLog,
     time: f64,
+    drone_ticks: u64,
     next_frame_at: f64,
     frames_processed: usize,
     frames_recognized: usize,
@@ -315,6 +328,11 @@ const WAVE_OFF_PROB: f64 = 0.35;
 const DT: f64 = 0.1;
 
 impl CollaborationSession {
+    /// The lockstep simulation step, seconds — the tick period schedulers
+    /// use to choreograph compat mode, and the fallback advance in event
+    /// mode when work is due immediately.
+    pub const TICK_S: f64 = DT;
+
     /// Builds a session: calibrates the vision pipeline from the canonical
     /// views (the paper's 0°-azimuth references at the negotiation geometry)
     /// and positions the actors.
@@ -368,6 +386,7 @@ impl CollaborationSession {
             rng: SmallRng::seed_from_u64(config.seed),
             log: EventLog::new(),
             time: 0.0,
+            drone_ticks: 0,
             next_frame_at: 0.0,
             frames_processed: 0,
             frames_recognized: 0,
@@ -780,10 +799,30 @@ impl CollaborationSession {
         }
     }
 
-    /// Advances the session by one step.
+    /// Advances the session by one lockstep tick of `DT` seconds.
     pub fn step(&mut self) {
         self.time += DT;
+        self.step_body(DT);
+    }
 
+    /// Advances the session directly to absolute time `t` (event-driven
+    /// mode): one pass of the session loop covering the whole span since the
+    /// previous pass, with the idle drone coasting across the gap.
+    ///
+    /// # Panics
+    /// Panics unless `t` is strictly after the current session time.
+    pub fn step_to(&mut self, t: f64) {
+        let dt = t - self.time;
+        assert!(dt > 0.0, "step_to must move time forward");
+        self.time = t;
+        self.step_body(dt);
+    }
+
+    /// One pass of the session loop. `self.time` has already been advanced;
+    /// `dt` is the span this pass covers (always exactly `DT` in lockstep
+    /// mode, so lockstep behaviour is bit-identical to the pre-scheduler
+    /// engine).
+    fn step_body(&mut self, dt: f64) {
         // --- fault layer: mid-negotiation role change ---
         let t = self.time;
         if let Some(role) = self.faults.as_mut().and_then(|f| f.role_change(t)) {
@@ -824,7 +863,16 @@ impl CollaborationSession {
                 }
             }
         }
-        self.drone.tick(DT);
+        // Busy drones (pattern playback, waypoint transit) need true ticks
+        // for motion fidelity; an idle hover over a longer event gap
+        // coalesces into one coast — what makes a quiet session cost
+        // O(events) instead of O(duration / DT).
+        if self.drone.is_executing() || self.drone.has_waypoint() || dt <= DT + 1e-9 {
+            self.drone.tick(dt);
+            self.drone_ticks += 1;
+        } else {
+            self.drone.coast(dt);
+        }
 
         // --- drone events ---
         for event in self.drone.drain_events() {
@@ -924,7 +972,7 @@ impl CollaborationSession {
                     // the ~100° azimuth dead angle) while holding the sign
                     let t = self.time;
                     let drift = self.faults.as_mut().map_or(0.0, |f| f.heading_drift(t));
-                    self.human.heading += drift * DT;
+                    self.human.heading += drift * dt;
                 }
             }
             HumanActivity::Idle => {}
@@ -1015,6 +1063,87 @@ impl CollaborationSession {
         self.machine.outcome()
     }
 
+    /// The next absolute time at which this session has work to do, given
+    /// that it last stepped at `now` — the event-driven scheduler's query.
+    ///
+    /// Conservative: it may return a time at which nothing observable
+    /// happens (that step is then cheap) and may return times at or before
+    /// `now` (meaning "work is due immediately"), but it never skips past a
+    /// time where observable work exists. Sources: busy-drone per-tick
+    /// motion, scheduled human responses, sign/wave expiry, the camera
+    /// cadence while listening, protocol deadlines, datalink timers and
+    /// lease edges, and the fault layer's own deadlines.
+    pub fn next_due_after(&mut self, now: f64) -> f64 {
+        let mut due = f64::INFINITY;
+        // A busy drone (pattern playback, waypoint transit) needs per-tick
+        // motion fidelity; a machine still waiting to bootstrap needs the
+        // next tick too.
+        if self.drone.is_executing()
+            || self.drone.has_waypoint()
+            || self.flying_to.is_some()
+            || self.machine.state() == NegotiationState::Idle
+        {
+            due = due.min(now + DT);
+        }
+        if let Some(pending) = self.human.pending {
+            due = due.min(pending.due_at);
+        }
+        match self.human.activity {
+            HumanActivity::Holding(_, until, _) | HumanActivity::Waving(until, _) => {
+                due = due.min(until);
+            }
+            HumanActivity::Idle => {}
+        }
+        let listening = matches!(
+            self.machine.state(),
+            NegotiationState::AwaitingAttention | NegotiationState::AwaitingAnswer
+        );
+        if listening && !self.drone.is_executing() {
+            due = due.min(self.next_frame_at.max(now));
+        }
+        if let Some(deadline) = self.machine.next_deadline() {
+            due = due.min(deadline);
+        }
+        if let Some(link) = &self.link {
+            if let Some(d) = link.next_due(now) {
+                due = due.min(d);
+            }
+        }
+        if let Some(faults) = self.faults.as_mut() {
+            if let Some(d) = faults.next_due(now) {
+                due = due.min(d);
+            }
+        }
+        due
+    }
+
+    /// Runs to completion in event-driven mode: instead of ticking every
+    /// `DT`, the session jumps straight to each next due time, coasting the
+    /// idle drone across the gaps. Deterministic and digest-stable for a
+    /// given config, but not bit-identical to lockstep [`run`] (coarser idle
+    /// traces, gap-dependent float sums) — the event-driven golden manifest
+    /// pins this mode separately.
+    ///
+    /// [`run`]: CollaborationSession::run
+    pub fn run_events(&mut self) -> SessionOutcome {
+        while !self.is_done() && self.time < self.config.max_duration_s {
+            let now = self.time;
+            let mut target = self.next_due_after(now);
+            if target <= now || target.is_nan() {
+                // overdue or immediate work (NaN-proof): take one tick
+                target = now + DT;
+            }
+            self.step_to(target.min(self.config.max_duration_s));
+        }
+        self.machine.outcome()
+    }
+
+    /// True drone ticks executed so far (coasts excluded) — the work metric
+    /// the event-driven scheduler is judged on.
+    pub fn drone_ticks(&self) -> u64 {
+        self.drone_ticks
+    }
+
     /// Runs and produces the full report.
     pub fn run_report(mut self) -> SessionReport {
         self.run();
@@ -1045,6 +1174,69 @@ impl CollaborationSession {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn event_driven_run_matches_lockstep_outcome_with_far_fewer_ticks() {
+        // A slow (but still in-time) responder: the drone spends most of the
+        // session hovering and listening, which is where coasting pays.
+        let cfg = SessionConfig::worker_example(3).with_script(HumanScript {
+            on_poke: ScriptedResponse::Sign(MarshallingSign::AttentionGained),
+            on_request: ScriptedResponse::Sign(MarshallingSign::Yes),
+            latency_s: 6.0,
+        });
+        let mut lock = CollaborationSession::new(cfg);
+        let lock_outcome = lock.run();
+        let mut ev = CollaborationSession::new(cfg);
+        let ev_outcome = ev.run_events();
+        assert_eq!(lock_outcome, ev_outcome, "log:\n{}", ev.log());
+        // Flight time is irreducible, so the bound here is modest; the
+        // idle-heavy capacity bench is where the big ratios show up.
+        assert!(
+            ev.drone_ticks() + 50 < lock.drone_ticks(),
+            "event mode must do fewer drone ticks: {} vs {}",
+            ev.drone_ticks(),
+            lock.drone_ticks()
+        );
+    }
+
+    #[test]
+    fn idle_gaps_between_events_cost_zero_drone_ticks() {
+        // An ignoring human leaves the drone hovering and listening; every
+        // gap until the next camera frame or protocol deadline must coast.
+        let cfg = SessionConfig::worker_example(11).with_script(HumanScript {
+            on_poke: ScriptedResponse::Ignore,
+            on_request: ScriptedResponse::Ignore,
+            latency_s: 1.0,
+        });
+        let mut s = CollaborationSession::new(cfg);
+        let mut checked_gaps = 0;
+        for _ in 0..10_000 {
+            if s.is_done() || s.time() >= 60.0 {
+                break;
+            }
+            let now = s.time();
+            let mut due = s.next_due_after(now);
+            if due <= now || due.is_nan() {
+                due = now + DT;
+            }
+            let hovering = !s.drone().is_executing() && !s.drone().has_waypoint();
+            let ticks_before = s.drone_ticks();
+            s.step_to(due);
+            if hovering && due - now > DT + 1e-9 {
+                checked_gaps += 1;
+                assert_eq!(
+                    s.drone_ticks(),
+                    ticks_before,
+                    "an idle gap of {:.3} s at t={now:.3} must not tick the drone",
+                    due - now
+                );
+            }
+        }
+        assert!(
+            checked_gaps > 10,
+            "the ignore script should produce many coastable gaps, saw {checked_gaps}"
+        );
+    }
 
     #[test]
     fn supervisor_yes_is_granted() {

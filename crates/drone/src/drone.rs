@@ -146,6 +146,11 @@ impl Drone {
         self.executing.is_some()
     }
 
+    /// Whether a waypoint transit is pending (controller still converging).
+    pub fn has_waypoint(&self) -> bool {
+        self.waypoint.is_some()
+    }
+
     /// The recorded flight trace (for observers / experiments).
     pub fn trace(&self) -> &Trajectory {
         &self.trace
@@ -310,6 +315,45 @@ impl Drone {
             position: self.state.position,
             heading: self.state.heading,
         });
+    }
+
+    /// Advances time and energy by `dt` seconds without simulating motion.
+    ///
+    /// The event-driven scheduler calls this to coalesce idle spans — no
+    /// pattern executing and no waypoint pending — into one jump. The power
+    /// draw of an idle drone is constant, so one `coast(dt)` drains what `n`
+    /// idle `tick(dt / n)` calls would (up to float summation order); the
+    /// observable differences are the skipped per-tick trace samples (the
+    /// trace is only classified over pattern flights, which never coast) and
+    /// a reserve crossing detected at the end of the span instead of
+    /// mid-span.
+    ///
+    /// # Panics
+    /// Panics if `dt` is not positive, or if called while a pattern or
+    /// waypoint transit is active (those need true ticks).
+    pub fn coast(&mut self, dt: f64) {
+        assert!(dt > 0.0, "time step must be positive");
+        assert!(
+            self.executing.is_none() && self.waypoint.is_none(),
+            "coast is only valid while idle"
+        );
+        self.time += dt;
+        let brightness = if self.ring.mode() == LedMode::Off {
+            0.0
+        } else {
+            self.ring.brightness
+        };
+        let was_reserve = self.battery.below_reserve();
+        self.battery.drain(
+            dt,
+            self.state.velocity.norm(),
+            self.state.rotors_on,
+            brightness,
+        );
+        if !was_reserve && self.battery.below_reserve() {
+            self.emit(DroneEvent::BatteryReserve);
+            self.trigger_safety("battery below reserve");
+        }
     }
 }
 
@@ -492,6 +536,39 @@ mod tests {
             d.state().heading + std::f64::consts::FRAC_PI_2,
         );
         assert_eq!(c, LedColor::Red);
+    }
+
+    #[test]
+    fn coast_drains_like_idle_ticks_and_latches_reserve() {
+        // Same hover, same span: one coast vs. a hundred idle ticks.
+        let mut ticked = airborne();
+        let mut coasted = ticked.clone();
+        for _ in 0..100 {
+            ticked.tick(0.1);
+        }
+        coasted.coast(10.0);
+        let a = ticked.battery().state_of_charge();
+        let b = coasted.battery().state_of_charge();
+        assert!((a - b).abs() < 1e-9, "drain must coalesce: {a} vs {b}");
+        assert!((ticked.time() - coasted.time()).abs() < 1e-9);
+        // trace is the one permitted divergence: coast records nothing
+        assert!(coasted.trace().samples().is_empty());
+
+        // a coast across the reserve threshold still fires the failsafe
+        let mut sagging = airborne();
+        sagging.drain_events();
+        sagging.coast(3600.0 * 24.0);
+        assert!(sagging.battery().below_reserve());
+        assert!(sagging.safety_engaged());
+        assert!(sagging.drain_events().contains(&DroneEvent::BatteryReserve));
+    }
+
+    #[test]
+    #[should_panic(expected = "only valid while idle")]
+    fn coast_rejects_active_patterns() {
+        let mut d = airborne();
+        d.execute_pattern(FlightPattern::Nod);
+        d.coast(1.0);
     }
 
     #[test]

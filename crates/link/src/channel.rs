@@ -14,7 +14,7 @@
 //! simulation pumps them. Two runs that offer the same messages at the same
 //! times observe byte-identical delivery schedules at any worker count.
 
-use crate::{splitmix64, unit_f64};
+use hdc_runtime::{SplitMix64, GOLDEN_GAMMA};
 use serde::{Deserialize, Serialize};
 
 /// The impairment model of one directed channel.
@@ -147,6 +147,16 @@ impl<T: Clone> LossyChannel<T> {
         self.in_flight.is_empty()
     }
 
+    /// Earliest time any in-flight copy becomes deliverable — the channel's
+    /// contribution to an event-driven scheduler's next-due computation.
+    /// `None` when nothing is in flight.
+    pub fn next_due(&self) -> Option<f64> {
+        self.in_flight
+            .iter()
+            .map(|m| m.deliver_at)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite delivery times"))
+    }
+
     /// Offers one message at time `now`. All impairment decisions for this
     /// message (and its duplicate, if any) are made here, from the stream
     /// derived from `(seed, message index)`.
@@ -156,11 +166,11 @@ impl<T: Clone> LossyChannel<T> {
         self.stats.offered += 1;
 
         // the message's own decision stream
-        let mut state = self.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let drop_u = unit_f64(splitmix64(&mut state));
-        let jitter_u = unit_f64(splitmix64(&mut state));
-        let dup_u = unit_f64(splitmix64(&mut state));
-        let dup_jitter_u = unit_f64(splitmix64(&mut state));
+        let mut stream = SplitMix64::new(self.seed ^ index.wrapping_mul(GOLDEN_GAMMA));
+        let drop_u = stream.next_unit_f64();
+        let jitter_u = stream.next_unit_f64();
+        let dup_u = stream.next_unit_f64();
+        let dup_jitter_u = stream.next_unit_f64();
 
         if self.quality.in_partition(now) || drop_u < self.quality.drop_p {
             self.stats.dropped += 1;
@@ -234,6 +244,25 @@ mod tests {
         ch.send(0.0, 7u32);
         assert!(ch.poll(0.04).is_empty());
         assert_eq!(ch.poll(0.06), vec![7]);
+    }
+
+    #[test]
+    fn next_due_tracks_the_earliest_in_flight_copy() {
+        let mut ch = LossyChannel::new(LinkQuality::clean(), 1);
+        assert_eq!(ch.next_due(), None);
+        ch.send(1.0, 1u32);
+        ch.send(0.0, 0u32);
+        let due = ch.next_due().expect("two copies in flight");
+        assert!(
+            (due - 0.05).abs() < 1e-12,
+            "earliest copy at 0.05, got {due}"
+        );
+        // polling at the due time drains it and advances next_due
+        assert_eq!(ch.poll(due), vec![0]);
+        let due = ch.next_due().expect("one copy left");
+        assert!((due - 1.05).abs() < 1e-12);
+        ch.poll(10.0);
+        assert_eq!(ch.next_due(), None);
     }
 
     #[test]

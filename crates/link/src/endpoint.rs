@@ -20,7 +20,7 @@
 //! owned by the endpoint, so a link exchange is a pure function of
 //! `(configs, seeds, traffic)`.
 
-use crate::{splitmix64, unit_f64};
+use hdc_runtime::SplitMix64;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -127,7 +127,7 @@ struct TxSlot<S> {
 pub struct Endpoint<S, R> {
     config: EndpointConfig,
     lease: LeaseConfig,
-    jitter_state: u64,
+    jitter_rng: SplitMix64,
     // --- transmit side ---
     next_seq: u64,
     unacked: VecDeque<TxSlot<S>>,
@@ -148,7 +148,7 @@ impl<S: Clone, R> Endpoint<S, R> {
         Endpoint {
             config,
             lease,
-            jitter_state: seed,
+            jitter_rng: SplitMix64::new(seed),
             next_seq: 1,
             unacked: VecDeque::new(),
             next_expected: 1,
@@ -206,8 +206,23 @@ impl<S: Clone, R> Endpoint<S, R> {
     fn timeout(&mut self, attempt: u32) -> f64 {
         let base = (self.config.resend_timeout_s * self.config.backoff.powi(attempt as i32))
             .min(self.config.max_resend_timeout_s);
-        let u = unit_f64(splitmix64(&mut self.jitter_state));
+        let u = self.jitter_rng.next_unit_f64();
         base * (1.0 + self.config.jitter_frac * u)
+    }
+
+    /// Earliest time this endpoint will have work for [`Endpoint::tick`]:
+    /// the soonest retransmission slot, the next heartbeat slot, or `now`
+    /// itself when an ack is pending. Event-driven schedulers use this to
+    /// skip polling a quiet link.
+    pub fn next_due(&self, now: f64) -> f64 {
+        let mut due = self.last_beat + self.lease.heartbeat_interval_s;
+        for slot in &self.unacked {
+            due = due.min(slot.resend_at);
+        }
+        if self.ack_due {
+            due = due.min(now);
+        }
+        due
     }
 
     /// Emits every frame due at `now`: first transmissions, retransmissions,
@@ -438,6 +453,32 @@ mod tests {
         assert!(b.handle(0.2, Frame::Data { seq: 2, payload: 2 }).is_empty());
         let got = b.handle(0.3, Frame::Data { seq: 1, payload: 1 });
         assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn next_due_covers_retransmit_heartbeat_and_pending_ack() {
+        let mut a: Ep = Endpoint::new(EndpointConfig::default(), LeaseConfig::default(), 1, 0.0);
+        // quiet endpoint: only the heartbeat slot is due
+        assert_eq!(a.next_due(0.0), 0.5);
+        // an unsent payload is due immediately (first transmission slot)
+        a.send(0.2, 7);
+        assert_eq!(a.next_due(0.2), 0.2);
+        let frames = a.tick(0.2);
+        assert!(matches!(frames[0], Frame::Data { seq: 1, .. }));
+        // after emission, next_due is the backed-off retransmission slot,
+        // which tick(now) at that time honours
+        let due = a.next_due(0.3);
+        assert!(
+            due > 0.3,
+            "retransmit slot must be in the future, got {due}"
+        );
+        assert!(
+            a.tick(due - 1e-9).is_empty() || due >= 0.5,
+            "nothing due before the slot"
+        );
+        // a received data frame makes an ack due no later than right now
+        let _ = a.handle(1.0, Frame::Data { seq: 1, payload: 9 });
+        assert!(a.next_due(1.0) <= 1.0);
     }
 
     #[test]

@@ -34,38 +34,40 @@ pub mod endpoint;
 pub use channel::{ChannelStats, LinkQuality, LossyChannel};
 pub use endpoint::{Endpoint, EndpointConfig, EndpointStats, Frame, LeaseConfig};
 
-/// One SplitMix64 step: advances `state` and returns the next word.
-/// The workspace-standard mixer for derived deterministic streams.
-pub(crate) fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Maps a random word to a uniform `f64` in `[0, 1)` (53-bit precision).
-pub(crate) fn unit_f64(word: u64) -> f64 {
-    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-}
+// All derived randomness (channel decision streams, retransmission jitter)
+// routes through `hdc_runtime::SplitMix64` — this crate carried a private
+// copy before the shared implementation existed. The state evolution is
+// identical, so channel schedules are byte-for-byte what they always were
+// (the 52 golden scenario digests pin this).
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use hdc_runtime::{unit_f64, SplitMix64, GOLDEN_GAMMA};
 
     #[test]
-    fn splitmix_is_deterministic_and_mixes() {
-        let mut a = 42u64;
-        let mut b = 42u64;
-        assert_eq!(splitmix64(&mut a), splitmix64(&mut b));
-        assert_ne!(splitmix64(&mut a), splitmix64(&mut a));
+    fn shared_splitmix_matches_the_old_private_stream() {
+        // The retired private helper advanced `state += GAMMA` then applied
+        // the finaliser — exactly `SplitMix64::new(state).next_u64()`. Pin
+        // the equivalence so channel streams can never silently shift.
+        let legacy = |state: &mut u64| -> u64 {
+            *state = state.wrapping_add(GOLDEN_GAMMA);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut state = 42u64;
+        let mut shared = SplitMix64::new(42);
+        for _ in 0..64 {
+            assert_eq!(legacy(&mut state), shared.next_u64());
+        }
     }
 
     #[test]
     fn unit_f64_is_in_range() {
-        let mut s = 7u64;
+        let mut s = SplitMix64::new(7);
         for _ in 0..1000 {
-            let u = unit_f64(splitmix64(&mut s));
+            let u = unit_f64(s.next_u64());
             assert!((0.0..1.0).contains(&u));
         }
     }

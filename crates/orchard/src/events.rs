@@ -1,8 +1,14 @@
-//! A small discrete-event queue used by the mission scheduler.
+//! The mission scheduler's discrete-event queue.
+//!
+//! Since the workspace grew a shared deterministic event heap
+//! (`hdc_runtime::EventHeap`), this queue is a thin façade over it: the
+//! mission layer schedules in float seconds and gets them back exactly as
+//! scheduled (the original `f64` rides in the payload; the heap orders by
+//! its integer-microsecond key), so mission statistics — and their golden
+//! digests — are bit-identical to the pre-consolidation queue.
 
+use hdc_runtime::EventHeap;
 use serde::{Deserialize, Serialize};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// A scheduled simulation event.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -15,38 +21,8 @@ pub enum ScheduledEvent {
     Checkpoint,
 }
 
-#[derive(Debug, Clone)]
-struct Entry {
-    time: f64,
-    seq: u64,
-    event: ScheduledEvent,
-}
-
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Entry {}
-
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // reversed: BinaryHeap is a max-heap, we want earliest first;
-        // ties broken by insertion order for determinism
-        other
-            .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
-            .then(other.seq.cmp(&self.seq))
-    }
-}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// A deterministic time-ordered event queue.
+/// A deterministic time-ordered event queue: earliest first, ties broken by
+/// insertion order.
 ///
 /// # Example
 /// ```
@@ -58,10 +34,9 @@ impl PartialOrd for Entry {
 /// assert_eq!(t, 1.0);
 /// assert_eq!(e, ScheduledEvent::VisitTrap(0));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Entry>,
-    seq: u64,
+    heap: Option<EventHeap<(f64, ScheduledEvent)>>,
 }
 
 impl EventQueue {
@@ -70,38 +45,44 @@ impl EventQueue {
         EventQueue::default()
     }
 
+    fn heap_mut(&mut self) -> &mut EventHeap<(f64, ScheduledEvent)> {
+        // salt 0: the mission queue schedules everything under one session
+        // id and rank, so ordering is (time, insertion) — the tie word never
+        // differs between entries at one instant
+        self.heap.get_or_insert_with(|| EventHeap::new(0))
+    }
+
     /// Schedules an event at absolute time `time`.
     ///
     /// # Panics
     /// Panics if `time` is not finite.
     pub fn schedule(&mut self, time: f64, event: ScheduledEvent) {
         assert!(time.is_finite(), "event time must be finite");
-        self.heap.push(Entry {
-            time,
-            seq: self.seq,
-            event,
-        });
-        self.seq += 1;
+        self.heap_mut().schedule_at_s(time, 0, 0, (time, event));
     }
 
-    /// Removes and returns the earliest event.
+    /// Removes and returns the earliest event, with the exact time it was
+    /// scheduled at (no microsecond rounding on the way out).
     pub fn pop(&mut self) -> Option<(f64, ScheduledEvent)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        self.heap.as_mut()?.pop().map(|s| s.event)
     }
 
     /// Time of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<f64> {
-        self.heap.peek().map(|e| e.time)
+        self.heap
+            .as_ref()
+            .and_then(|h| h.peek_time())
+            .map(hdc_runtime::micros_to_secs)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.as_ref().map_or(0, EventHeap::len)
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -126,6 +107,16 @@ mod tests {
         q.schedule(1.0, ScheduledEvent::VisitTrap(2));
         assert_eq!(q.pop().unwrap().1, ScheduledEvent::VisitTrap(1));
         assert_eq!(q.pop().unwrap().1, ScheduledEvent::VisitTrap(2));
+    }
+
+    #[test]
+    fn scheduled_times_come_back_exactly() {
+        // the heap keys by integer microseconds, but callers must see their
+        // own float back (mission durations feed golden digests)
+        let t = 12.300_000_000_4;
+        let mut q = EventQueue::new();
+        q.schedule(t, ScheduledEvent::Checkpoint);
+        assert_eq!(q.pop().unwrap().0, t);
     }
 
     #[test]

@@ -36,16 +36,18 @@ mod linked;
 mod map;
 mod metrics;
 mod mission;
+mod sessions;
 
 pub use agents::HumanActor;
 pub use events::{EventQueue, ScheduledEvent};
 pub use fleet::{run_fleet, run_fleet_with, FleetConfig, FleetStats};
 pub use linked::{
-    run_linked_fleet, FleetCommand, FleetTelemetry, LinkedDroneStats, LinkedFleetConfig,
-    LinkedFleetStats, RadioFailure,
+    run_linked_fleet, run_linked_fleet_mode, FleetCommand, FleetTelemetry, LinkedDroneStats,
+    LinkedFleetConfig, LinkedFleetStats, RadioFailure,
 };
 pub use map::{FlyTrap, OrchardMap, Tree};
 pub use metrics::{MissionStats, NegotiationTally};
 pub use mission::{
     FullLoopNegotiation, Mission, MissionConfig, NegotiationBackend, StatisticalNegotiation,
 };
+pub use sessions::{run_session_farm, FarmStats};

@@ -32,6 +32,7 @@ use hdc_geometry::Vec2;
 use hdc_link::{
     Endpoint, EndpointConfig, EndpointStats, Frame, LeaseConfig, LinkQuality, LossyChannel,
 };
+use hdc_runtime::{EventHeap, ScheduleMode};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -140,6 +141,10 @@ pub struct LinkedFleetStats {
 /// Simulation step, seconds.
 const DT: f64 = 0.1;
 
+/// Nudge past a lease edge so the endpoints' strict `>` expiry comparison
+/// fires at the wake the edge schedules.
+const LEASE_EDGE_S: f64 = 1e-6;
+
 /// Derives an independent stream seed (workspace-standard SplitMix64
 /// finaliser) so per-drone link decisions never correlate.
 fn derive_seed(seed: u64, salt: u64) -> u64 {
@@ -183,8 +188,47 @@ struct DroneLedger {
     endpoint: Endpoint<FleetCommand, FleetTelemetry>,
 }
 
-/// Runs the supervised campaign. See the module docs for the dispatch and
-/// failure model.
+/// The earliest simulation time at which any fleet component has work: a
+/// transit arrival, a read completion, a retransmit / heartbeat / ack slot
+/// on either end of a link, a queued channel delivery, or a lease edge
+/// about to expire. May return times at or before `now` ("work is due
+/// immediately") or `f64::INFINITY` (nothing pending); the caller bumps
+/// both to one tick.
+fn fleet_next_due(
+    now: f64,
+    drones: &[FleetDrone],
+    ledgers: &[DroneLedger],
+    lease_timeout_s: f64,
+) -> f64 {
+    let mut due = f64::INFINITY;
+    for (drone, ledger) in drones.iter().zip(ledgers) {
+        if !drone.failsafed {
+            match drone.task {
+                Some(DroneTask::Transit { arrive_at, .. }) => due = due.min(arrive_at),
+                Some(DroneTask::Reading { done_at, .. }) => due = due.min(done_at),
+                None if !drone.backlog.is_empty() => due = due.min(now + DT),
+                None => {}
+            }
+            due = due.min((drone.endpoint.last_heard() + lease_timeout_s).max(now) + LEASE_EDGE_S);
+        }
+        if !ledger.lost {
+            due = due.min((ledger.endpoint.last_heard() + lease_timeout_s).max(now) + LEASE_EDGE_S);
+        }
+        due = due.min(drone.endpoint.next_due(now));
+        due = due.min(ledger.endpoint.next_due(now));
+        if let Some(t) = drone.up.next_due() {
+            due = due.min(t);
+        }
+        if let Some(t) = drone.down.next_due() {
+            due = due.min(t);
+        }
+    }
+    due
+}
+
+/// Runs the supervised campaign in lockstep-compat mode. See the module
+/// docs for the dispatch and failure model, and
+/// [`run_linked_fleet_mode`] for the scheduling contract.
 ///
 /// # Panics
 /// Panics if `config.drone_count` is zero.
@@ -192,6 +236,28 @@ pub fn run_linked_fleet(
     config: &LinkedFleetConfig,
     map: &OrchardMap,
     seed: u64,
+) -> LinkedFleetStats {
+    run_linked_fleet_mode(config, map, seed, ScheduleMode::Lockstep)
+}
+
+/// Runs the supervised campaign on the workspace event heap.
+///
+/// One wake event is armed at a time, carrying its exact `f64` due time as
+/// payload (the heap key is integer microseconds; the payload keeps the
+/// clock un-rounded). [`ScheduleMode::Lockstep`] arms `now + DT` every
+/// iteration — the same float accumulation as the pre-scheduler fixed-rate
+/// loop, so the golden fleet digests are bit-identical.
+/// [`ScheduleMode::EventDriven`] arms the fleet's earliest due time from
+/// [`fleet_next_due`], so an idle fleet (drones in long transits, quiet
+/// links) costs O(events) instead of O(ticks).
+///
+/// # Panics
+/// Panics if `config.drone_count` is zero.
+pub fn run_linked_fleet_mode(
+    config: &LinkedFleetConfig,
+    map: &OrchardMap,
+    seed: u64,
+    mode: ScheduleMode,
 ) -> LinkedFleetStats {
     assert!(config.drone_count > 0, "a fleet needs at least one drone");
     let tour = map.plan_tour(Vec2::ZERO);
@@ -248,8 +314,29 @@ pub fn run_linked_fleet(
     let mut drones_lost = 0u32;
     let mut reassigned = 0u32;
 
-    while now < config.max_duration_s {
-        now += DT;
+    let mut wakes: EventHeap<f64> = EventHeap::new(seed);
+    let arm = |wakes: &mut EventHeap<f64>, now: f64, drones: &[FleetDrone], ledgers: &[_]| {
+        let t = match mode {
+            ScheduleMode::Lockstep => now + DT,
+            ScheduleMode::EventDriven => {
+                let due = fleet_next_due(now, drones, ledgers, config.lease.timeout_s);
+                // anything due now — or an empty horizon — waits one tick
+                if due > now {
+                    due
+                } else {
+                    now + DT
+                }
+            }
+        };
+        wakes.schedule_at_s(t, 0, 0, t);
+    };
+    arm(&mut wakes, now, &drones, &ledgers);
+
+    while let Some(wake) = wakes.pop() {
+        if now >= config.max_duration_s {
+            break;
+        }
+        now = wake.event.min(config.max_duration_s + DT);
 
         // --- drone work ---
         for drone in drones.iter_mut() {
@@ -369,6 +456,7 @@ pub fn run_linked_fleet(
         if all_confirmed || !anyone_live || !work_pending {
             break;
         }
+        arm(&mut wakes, now, &drones, &ledgers);
     }
 
     LinkedFleetStats {
@@ -516,6 +604,51 @@ mod tests {
             stats.duplicate_reads <= stats.reassigned,
             "every duplicate read stems from a re-dispatched trap"
         );
+    }
+
+    #[test]
+    fn event_driven_mode_confirms_every_trap_on_a_clean_link() {
+        let config = LinkedFleetConfig::default();
+        let stats = run_linked_fleet_mode(&config, &grid(), 7, ScheduleMode::EventDriven);
+        assert_eq!(stats.traps_confirmed, 12, "{stats:?}");
+        assert_eq!(stats.drones_lost, 0);
+        assert!(stats.per_drone.iter().all(|d| !d.failsafed));
+    }
+
+    #[test]
+    fn event_driven_mode_recovers_from_a_radio_death() {
+        let config = LinkedFleetConfig {
+            quality: LinkQuality::clean().with_drop(0.2),
+            failures: vec![RadioFailure {
+                drone: 1,
+                at_s: 15.0,
+            }],
+            ..Default::default()
+        };
+        let stats = run_linked_fleet_mode(&config, &grid(), 7, ScheduleMode::EventDriven);
+        assert_eq!(stats.drones_lost, 1, "{stats:?}");
+        assert!(stats.reassigned > 0);
+        assert_eq!(stats.traps_confirmed, 12, "survivors must cover the loss");
+        assert!(stats.per_drone[1].failsafed);
+    }
+
+    #[test]
+    fn event_driven_mode_is_seed_deterministic() {
+        let config = LinkedFleetConfig {
+            quality: LinkQuality::clean().with_drop(0.25).with_dup(0.2),
+            ..Default::default()
+        };
+        let a = run_linked_fleet_mode(&config, &grid(), 11, ScheduleMode::EventDriven);
+        let b = run_linked_fleet_mode(&config, &grid(), 11, ScheduleMode::EventDriven);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lockstep_mode_is_the_default_entry_point() {
+        let config = LinkedFleetConfig::default();
+        let a = run_linked_fleet(&config, &grid(), 9);
+        let b = run_linked_fleet_mode(&config, &grid(), 9, ScheduleMode::Lockstep);
+        assert_eq!(a, b, "the wrapper must be exactly lockstep mode");
     }
 
     #[test]

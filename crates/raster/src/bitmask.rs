@@ -37,7 +37,7 @@
 //! ```
 
 use crate::digest::Fnv1a64;
-use crate::image::Bitmap;
+use crate::image::{Bitmap, GrayImage};
 
 /// Pixels per storage word.
 pub const WORD_BITS: usize = 64;
@@ -273,6 +273,50 @@ impl BitMask {
         out
     }
 
+    /// Packs a 0/1 byte image (as produced by
+    /// [`crate::threshold::binarize_bytes_into`]), re-dimensioning `self`
+    /// to match. Unlike [`BitMask::pack_from`], the `u8` source rows chunk
+    /// into plain little-endian word loads, so each gather multiply is fed
+    /// by one 8-byte load instead of eight bool-to-byte conversions — this
+    /// is the fast half of the hybrid binarise-then-pack path.
+    ///
+    /// Every source byte must be 0 or 1; larger values would carry across
+    /// gather lanes and corrupt neighbouring bits (debug-asserted).
+    pub fn pack_from_bytes(&mut self, mask: &GrayImage) {
+        self.reset_dimensions(mask.width(), mask.height());
+        let w = mask.width() as usize;
+        let wpr = self.words_per_row;
+        for (dst_row, src_row) in self
+            .words
+            .chunks_exact_mut(wpr)
+            .zip(mask.pixels().chunks_exact(w))
+        {
+            let mut full = src_row.chunks_exact(WORD_BITS);
+            for (word, chunk) in dst_row.iter_mut().zip(full.by_ref()) {
+                // eight independent gathers, combined pairwise: no
+                // loop-carried OR chain, so the multiplies pipeline
+                let g = |o: usize| gather_unit_bytes(&chunk[o..o + 8]);
+                let lo = g(0) | (g(8) << 8) | (g(16) << 16) | (g(24) << 24);
+                let hi = (g(32) << 32) | (g(40) << 40) | (g(48) << 48) | (g(56) << 56);
+                *word = lo | hi;
+            }
+            let tail = full.remainder();
+            if !tail.is_empty() {
+                let mut packed = 0u64;
+                let mut bytes = tail.chunks_exact(8);
+                for (k, b) in bytes.by_ref().enumerate() {
+                    packed |= gather_unit_bytes(b) << (8 * k);
+                }
+                let tail_base = tail.len() - bytes.remainder().len();
+                for (i, &p) in bytes.remainder().iter().enumerate() {
+                    debug_assert!(p <= 1, "source bytes must be 0 or 1");
+                    packed |= u64::from(p) << (tail_base + i);
+                }
+                dst_row[wpr - 1] = packed;
+            }
+        }
+    }
+
     /// Unpacks into a byte-per-pixel mask, re-dimensioning `out` to match.
     pub fn unpack_into(&self, out: &mut Bitmap) {
         out.reset_dimensions(self.width, self.height);
@@ -294,6 +338,20 @@ impl BitMask {
         self.unpack_into(&mut out);
         out
     }
+}
+
+/// Gathers eight 0/1 bytes into the low 8 bits of the result: one
+/// little-endian word load and one overflowing multiply (byte `k` of the
+/// load lands at bit `k`).
+///
+/// # Panics
+/// Panics if `b` is not exactly 8 bytes.
+#[inline]
+fn gather_unit_bytes(b: &[u8]) -> u64 {
+    const GATHER: u64 = 0x0102_0408_1020_4080;
+    let v = u64::from_le_bytes(b.try_into().expect("gather operates on 8 bytes"));
+    debug_assert_eq!(v & !0x0101_0101_0101_0101, 0, "source bytes must be 0 or 1");
+    v.wrapping_mul(GATHER) >> 56
 }
 
 /// Packs one row of bools into words: 8 bools per step through the
@@ -400,6 +458,26 @@ mod tests {
             for row in packed.words().chunks_exact(wpr) {
                 assert_eq!(row[wpr - 1] & !tail, 0);
             }
+        }
+    }
+
+    #[test]
+    fn pack_from_bytes_matches_pack_from_bool() {
+        for (w, h, salt) in [
+            (1u32, 1u32, 3u64),
+            (63, 2, 5),
+            (64, 3, 7),
+            (65, 2, 9),
+            (190, 4, 11),
+        ] {
+            let b = speckled(w, h, salt);
+            let mut bytes = GrayImage::new(w, h);
+            for (dst, src) in bytes.pixels_mut().iter_mut().zip(b.pixels()) {
+                *dst = u8::from(*src);
+            }
+            let mut from_bytes = BitMask::new(1, 1);
+            from_bytes.pack_from_bytes(&bytes);
+            assert_eq!(from_bytes, BitMask::from_bitmap(&b), "{w}x{h}");
         }
     }
 

@@ -77,6 +77,18 @@ pub fn binarize_packed(img: &GrayImage, t: u8) -> BitMask {
     out
 }
 
+/// [`binarize`] into a byte-per-pixel 0/1 image: the front half of the
+/// hybrid binarise-then-pack path. The straight byte compare is the form
+/// the compiler vectorises best — one SIMD compare per register of pixels —
+/// and the 0/1 `u8` output (unlike `bool`) can be reloaded eight lanes at a
+/// time by [`BitMask::pack_from_bytes`] with plain word loads.
+pub fn binarize_bytes_into(img: &GrayImage, t: u8, out: &mut GrayImage) {
+    out.reset_dimensions(img.width(), img.height());
+    for (dst, src) in out.pixels_mut().iter_mut().zip(img.pixels()) {
+        *dst = u8::from(*src > t);
+    }
+}
+
 /// SWAR bytewise threshold: returns the low 8 bits set where the
 /// corresponding byte of `x` is **strictly greater** than `t`.
 ///
@@ -161,6 +173,22 @@ mod tests {
         assert_eq!(b.get(0, 0), Some(false));
         assert_eq!(b.get(1, 0), Some(false));
         assert_eq!(b.get(2, 0), Some(true));
+    }
+
+    #[test]
+    fn bytes_form_matches_bool_form() {
+        let mut img = GrayImage::new(130, 3);
+        for (i, p) in img.pixels_mut().iter_mut().enumerate() {
+            *p = (i * 37 % 256) as u8;
+        }
+        for t in [0u8, 127, 128, 200, 255] {
+            let bools = binarize(&img, t);
+            let mut bytes = GrayImage::new(1, 1);
+            binarize_bytes_into(&img, t, &mut bytes);
+            for (a, b) in bools.pixels().iter().zip(bytes.pixels()) {
+                assert_eq!(u8::from(*a), *b, "threshold {t}");
+            }
+        }
     }
 
     #[test]

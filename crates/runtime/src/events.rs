@@ -1,0 +1,260 @@
+//! A deterministic discrete-event heap for the mission schedulers.
+//!
+//! Lockstep simulation pays O(ticks) regardless of activity: a session that
+//! waits 60 s for a negotiation timeout burns 600 `dt = 0.1` steps doing
+//! nothing. The event-driven schedulers (session runner, orchard fleet,
+//! scenario harness) instead keep a time-ordered heap of *typed* events —
+//! sign-hold deadlines, LED pattern transitions, negotiation timeouts, link
+//! retransmit/heartbeat timers, waypoint arrivals — and jump the clock from
+//! one event to the next, so idle drones and quiet links cost zero work.
+//!
+//! **Determinism contract.** Heap order must not depend on insertion order,
+//! worker count, or pointer values, or golden traces die. [`EventHeap`]
+//! therefore orders entries by the tuple
+//! `(time, seeded tie, session, rank, insertion seq)` where the tie is a
+//! SplitMix64 finalisation of `(salt, time, session, rank)`:
+//!
+//! * distinct `(time, session, rank)` keys compare identically in every run
+//!   with the same salt, however they were inserted;
+//! * the seeded tie decorrelates same-instant events across sessions, so no
+//!   session is systematically favoured at shared timestamps;
+//! * truly identical keys (one session scheduling the same rank twice at one
+//!   instant) fall back to insertion order, which the caller controls.
+//!
+//! Time is integer [`Micros`] (see `vclock`): float seconds are converted
+//! once at the boundary by [`secs_to_micros`], never compared directly, so
+//! heap order is bit-stable across platforms.
+
+use crate::splitmix::{mix, GOLDEN_GAMMA};
+use crate::Micros;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// Converts simulation seconds to integer microseconds (round-to-nearest).
+/// Negative and non-finite inputs clamp to zero — scheduling "now or
+/// earlier" means "immediately" for every caller in the workspace.
+pub fn secs_to_micros(t_s: f64) -> Micros {
+    if t_s.is_finite() && t_s > 0.0 {
+        (t_s * 1e6).round() as Micros
+    } else {
+        0
+    }
+}
+
+/// Converts integer microseconds back to simulation seconds.
+pub fn micros_to_secs(t_us: Micros) -> f64 {
+    t_us as f64 * 1e-6
+}
+
+/// How a simulation driver advances its clock. Shared by the scenario
+/// harness and the orchard fleet runners so both expose the same dual-mode
+/// contract: `Lockstep` reproduces the pre-scheduler fixed-rate loops
+/// bit-for-bit (the committed golden manifests pin it); `EventDriven` jumps
+/// between due times so idle spans cost zero work (deterministic, pinned by
+/// its own blessed manifest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleMode {
+    /// One tick event per fixed `dt` — bit-identical to the legacy loops.
+    Lockstep,
+    /// Jump straight between due times; idle spans coast.
+    EventDriven,
+}
+
+/// The seeded tie-break word for an event key: a pure function of
+/// `(salt, time, session, rank)`, so every run (and every worker) agrees on
+/// the order of same-instant events without consulting insertion order.
+fn tie_word(salt: u64, t_us: Micros, session: u64, rank: u16) -> u64 {
+    mix(salt ^ mix(t_us ^ session.wrapping_mul(GOLDEN_GAMMA)) ^ u64::from(rank))
+}
+
+/// One popped event: when it was due, whose it is, and what kind it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// Due time, integer microseconds.
+    pub t_us: Micros,
+    /// Owning session (or stream / drone) identifier.
+    pub session: u64,
+    /// Event-kind rank: the caller's small enum discriminant. Lower ranks
+    /// win ties *within* one `(time, session)` only after the seeded tie.
+    pub rank: u16,
+    /// The payload.
+    pub event: E,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    t_us: Micros,
+    tie: u64,
+    session: u64,
+    rank: u16,
+    seq: u64,
+    event: E,
+}
+
+impl<E> Entry<E> {
+    fn key(&self) -> (Micros, u64, u64, u16, u64) {
+        (self.t_us, self.tie, self.session, self.rank, self.seq)
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// A time-ordered, seed-deterministic event heap. See the module docs for
+/// the ordering contract.
+#[derive(Debug)]
+pub struct EventHeap<E> {
+    salt: u64,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+}
+
+impl<E> EventHeap<E> {
+    /// An empty heap whose same-instant tie-breaks are seeded by `salt`.
+    pub fn new(salt: u64) -> Self {
+        EventHeap {
+            salt,
+            seq: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` for `session` at `t_us` with event-kind `rank`.
+    pub fn schedule(&mut self, t_us: Micros, session: u64, rank: u16, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry {
+            t_us,
+            tie: tie_word(self.salt, t_us, session, rank),
+            session,
+            rank,
+            seq,
+            event,
+        }));
+    }
+
+    /// [`EventHeap::schedule`] with the time given in simulation seconds.
+    pub fn schedule_at_s(&mut self, t_s: f64, session: u64, rank: u16, event: E) {
+        self.schedule(secs_to_micros(t_s), session, rank, event);
+    }
+
+    /// Due time of the next event, if any.
+    pub fn peek_time(&self) -> Option<Micros> {
+        self.heap.peek().map(|Reverse(e)| e.t_us)
+    }
+
+    /// Removes and returns the next event in deterministic order.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.heap.pop().map(|Reverse(e)| Scheduled {
+            t_us: e.t_us,
+            session: e.session,
+            rank: e.rank,
+            event: e.event,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut h = EventHeap::new(1);
+        h.schedule(300, 0, 0, "c");
+        h.schedule(100, 0, 0, "a");
+        h.schedule(200, 0, 0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| h.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn order_is_insertion_independent_for_distinct_keys() {
+        // 8 sessions × 3 ranks at one instant, inserted in two different
+        // orders, must pop identically: order is a function of the keys.
+        let keys: Vec<(u64, u16)> = (0..8u64)
+            .flat_map(|s| (0..3u16).map(move |r| (s, r)))
+            .collect();
+        let run = |perm: &[(u64, u16)]| {
+            let mut h = EventHeap::new(42);
+            for &(s, r) in perm {
+                h.schedule(500, s, r, (s, r));
+            }
+            std::iter::from_fn(|| h.pop().map(|e| e.event)).collect::<Vec<_>>()
+        };
+        let forward = run(&keys);
+        let reversed = run(&keys.iter().rev().copied().collect::<Vec<_>>());
+        assert_eq!(forward, reversed);
+    }
+
+    #[test]
+    fn identical_keys_fall_back_to_insertion_order() {
+        let mut h = EventHeap::new(7);
+        h.schedule(10, 3, 1, "first");
+        h.schedule(10, 3, 1, "second");
+        h.schedule(10, 3, 1, "third");
+        let order: Vec<&str> = std::iter::from_fn(|| h.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn salt_permutes_same_instant_ties() {
+        // Same-instant events across sessions order by the seeded tie, and
+        // different salts produce different permutations (no systematic
+        // session favouritism).
+        let order_for = |salt: u64| {
+            let mut h = EventHeap::new(salt);
+            for s in 0..16u64 {
+                h.schedule(1000, s, 0, s);
+            }
+            std::iter::from_fn(|| h.pop().map(|e| e.event)).collect::<Vec<u64>>()
+        };
+        assert_eq!(order_for(5), order_for(5), "same salt, same order");
+        assert_ne!(order_for(5), order_for(6), "salts must permute ties");
+    }
+
+    #[test]
+    fn peek_matches_pop_and_seconds_convert() {
+        let mut h = EventHeap::new(0);
+        assert!(h.is_empty());
+        h.schedule_at_s(0.5, 1, 0, ());
+        h.schedule_at_s(0.1, 2, 0, ());
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.peek_time(), Some(100_000));
+        assert_eq!(h.pop().unwrap().session, 2);
+        assert_eq!(h.peek_time(), Some(500_000));
+    }
+
+    #[test]
+    fn seconds_conversion_is_clamped_and_round_trips() {
+        assert_eq!(secs_to_micros(-1.0), 0);
+        assert_eq!(secs_to_micros(f64::NAN), 0);
+        assert_eq!(secs_to_micros(0.1), 100_000);
+        let t = secs_to_micros(12.345_678);
+        assert!((micros_to_secs(t) - 12.345_678).abs() < 1e-9);
+    }
+}

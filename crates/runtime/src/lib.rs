@@ -42,10 +42,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod splitmix;
 pub mod vclock;
 
-pub use splitmix::SplitMix64;
+pub use events::{micros_to_secs, secs_to_micros, EventHeap, ScheduleMode, Scheduled};
+pub use splitmix::{mix, unit_f64, SplitMix64, GOLDEN_GAMMA};
 pub use vclock::{Micros, VirtualClock};
 
 use std::num::NonZeroUsize;

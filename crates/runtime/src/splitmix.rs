@@ -10,9 +10,13 @@
 //! generators*, OOPSLA 2014), cheap enough to construct per stream.
 //!
 //! This module hosts the one shared implementation (the datalink and sweep
-//! layers grew private copies before it existed; new code should use this
-//! one). No floating point anywhere: every derived quantity is exact integer
-//! arithmetic, so schedules built from it are bit-stable across platforms.
+//! layers grew private copies before it existed; everything now routes
+//! through this one). The generator itself is exact integer arithmetic, so
+//! schedules built from it are bit-stable across platforms; callers that
+//! need a probability get it through the one explicit bridge,
+//! [`unit_f64`] / [`SplitMix64::next_unit_f64`], which maps the top 53 bits
+//! of a draw to `[0, 1)` — the same word therefore yields the same `f64` on
+//! every platform.
 
 /// A SplitMix64 generator: 64 bits of state, one finaliser per draw.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,8 +24,10 @@ pub struct SplitMix64 {
     state: u64,
 }
 
-/// The golden-ratio increment of the SplitMix64 reference implementation.
-const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+/// The golden-ratio increment of the SplitMix64 reference implementation —
+/// public because seed-derivation sites across the workspace (channel
+/// streams, link endpoint salts) multiply indices by it before mixing.
+pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
 
 impl SplitMix64 {
     /// A generator seeded directly with `seed`.
@@ -57,10 +63,25 @@ impl SplitMix64 {
         assert!(bound > 0, "below(0) has no valid output");
         (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
     }
+
+    /// The next value as a uniform `f64` in `[0, 1)` — see [`unit_f64`].
+    pub fn next_unit_f64(&mut self) -> f64 {
+        unit_f64(self.next_u64())
+    }
 }
 
-/// The SplitMix64 output finaliser (a bijection on `u64`).
-fn mix(mut z: u64) -> u64 {
+/// Maps a random word to a uniform `f64` in `[0, 1)` with 53-bit precision:
+/// the workspace-standard integer→unit-interval bridge (top 53 bits scaled
+/// by 2⁻⁵³), shared so every layer that turns draws into probabilities does
+/// it identically.
+pub fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The SplitMix64 output finaliser (a bijection on `u64`): public because
+/// seed-derivation helpers across the workspace (`derive_seed`-style salting
+/// of channel and endpoint streams) apply it directly to salted seeds.
+pub fn mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -117,5 +138,23 @@ mod tests {
     #[should_panic(expected = "below(0)")]
     fn below_zero_rejected() {
         SplitMix64::new(1).below(0);
+    }
+
+    #[test]
+    fn unit_f64_stays_in_range_and_is_word_pure() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let u = rng.next_unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+        assert_eq!(unit_f64(0), 0.0);
+        assert_eq!(
+            unit_f64(u64::MAX),
+            (((1u64 << 53) - 1) as f64) * (1.0 / (1u64 << 53) as f64)
+        );
+        // the struct method is exactly the free-function bridge on the draw
+        let mut a = SplitMix64::new(99);
+        let mut b = SplitMix64::new(99);
+        assert_eq!(a.next_unit_f64(), unit_f64(b.next_u64()));
     }
 }

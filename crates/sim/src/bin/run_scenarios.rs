@@ -13,15 +13,55 @@
 //!   only after reviewing the behavioural diff);
 //! * any invariant failure or unblessed digest drift exits non-zero.
 
-use hdc_runtime::{available_workers, threads_from_args, WorkPool};
-use hdc_sim::scenario::{format_manifest, golden_path, parse_manifest};
+use hdc_runtime::{available_workers, threads_from_args, ScheduleMode, WorkPool};
+use hdc_sim::scenario::{format_manifest, golden_event_path, golden_path, parse_manifest};
 use hdc_sim::sweep::{dead_angle_sweep_with, link_loss_sweep_with};
-use hdc_sim::{build_matrix, linked_fleet_cases, mission_cases, run_matrix_with, Grade};
+use hdc_sim::{
+    build_matrix, linked_fleet_cases_mode, mission_cases, run_matrix_mode, Grade, ScenarioResult,
+};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Compares produced manifest rows against a committed manifest file.
+/// Returns the number of drifting rows (0 = conformant).
+fn verify_manifest(label: &str, path: &str, rows: &[(String, String, String)]) -> Option<usize> {
+    let committed = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("no {label} manifest at {path} ({e}); run with --bless to create it");
+            return None;
+        }
+    };
+    let committed_rows = parse_manifest(&committed);
+    let mut drift = 0;
+    for (name, digest, outcome) in rows {
+        match committed_rows.iter().find(|(n, _, _)| n == name) {
+            Some((_, want_digest, want_outcome)) => {
+                if digest != want_digest || outcome != want_outcome {
+                    eprintln!(
+                        "GOLDEN DRIFT [{label}] {name}: have {digest}/{outcome}, \
+                         committed {want_digest}/{want_outcome}"
+                    );
+                    drift += 1;
+                }
+            }
+            None => {
+                eprintln!("GOLDEN DRIFT [{label}] {name}: not in the committed manifest");
+                drift += 1;
+            }
+        }
+    }
+    for (name, _, _) in &committed_rows {
+        if !rows.iter().any(|(n, _, _)| n == name) {
+            eprintln!("GOLDEN DRIFT [{label}] {name}: committed but no longer produced");
+            drift += 1;
+        }
+    }
+    Some(drift)
 }
 
 fn main() -> ExitCode {
@@ -31,11 +71,11 @@ fn main() -> ExitCode {
 
     let matrix = build_matrix();
     println!(
-        "running {} scenarios on {} worker(s)...",
+        "running {} scenarios on {} worker(s), lockstep mode...",
         matrix.len(),
         pool.workers()
     );
-    let results = run_matrix_with(&pool, &matrix);
+    let results = run_matrix_mode(&pool, &matrix, ScheduleMode::Lockstep);
     for r in &results {
         println!(
             "  {:<36} {:<8} {:<9} {} ({:.1}s)",
@@ -50,15 +90,29 @@ fn main() -> ExitCode {
         }
     }
 
+    println!("running {} scenarios, event-driven mode...", matrix.len());
+    let event_results = run_matrix_mode(&pool, &matrix, ScheduleMode::EventDriven);
+    for r in &event_results {
+        for v in &r.violations {
+            println!("  {:<36} VIOLATION (event mode): {v}", r.name);
+        }
+    }
+
     println!("running mission cases...");
     let missions = mission_cases();
     for (name, digest, summary) in &missions {
         println!("  {name:<36} {digest} {summary}");
     }
 
-    println!("running linked-fleet cases...");
-    let fleets = linked_fleet_cases();
+    println!("running linked-fleet cases (lockstep)...");
+    let fleets = linked_fleet_cases_mode(ScheduleMode::Lockstep);
     for (name, digest, summary) in &fleets {
+        println!("  {name:<36} {digest} {summary}");
+    }
+
+    println!("running linked-fleet cases (event-driven)...");
+    let event_fleets = linked_fleet_cases_mode(ScheduleMode::EventDriven);
+    for (name, digest, summary) in &event_fleets {
         println!("  {name:<36} {digest} {summary}");
     }
 
@@ -79,31 +133,43 @@ fn main() -> ExitCode {
         );
     }
 
-    // --- golden manifest rows: sessions then missions, in matrix order ---
-    let mut rows: Vec<(String, String, String)> = results
-        .iter()
-        .map(|r| {
-            (
-                r.name.clone(),
-                r.digest.clone(),
-                r.outcome.to_string().to_lowercase(),
-            )
-        })
-        .collect();
-    rows.extend(
-        missions
+    // --- golden manifest rows: sessions then missions then fleets, in
+    //     matrix order; one row set per scheduler mode. The mission layer is
+    //     scheduler-native (its own event queue), so its rows are shared.
+    let manifest_rows = |scenario_results: &[ScenarioResult],
+                         fleet_rows: &[(String, String, String)]| {
+        let mut rows: Vec<(String, String, String)> = scenario_results
             .iter()
-            .map(|(n, d, _)| (n.clone(), d.clone(), "mission".to_owned())),
-    );
-    rows.extend(
-        fleets
-            .iter()
-            .map(|(n, d, _)| (n.clone(), d.clone(), "fleet".to_owned())),
-    );
+            .map(|r| {
+                (
+                    r.name.clone(),
+                    r.digest.clone(),
+                    r.outcome.to_string().to_lowercase(),
+                )
+            })
+            .collect();
+        rows.extend(
+            missions
+                .iter()
+                .map(|(n, d, _)| (n.clone(), d.clone(), "mission".to_owned())),
+        );
+        rows.extend(
+            fleet_rows
+                .iter()
+                .map(|(n, d, _)| (n.clone(), d.clone(), "fleet".to_owned())),
+        );
+        rows
+    };
+    let rows = manifest_rows(&results, &fleets);
+    let event_rows = manifest_rows(&event_results, &event_fleets);
 
     let pass = results.iter().filter(|r| r.grade == Grade::Pass).count();
     let degrade = results.iter().filter(|r| r.grade == Grade::Degrade).count();
     let fail = results.iter().filter(|r| r.grade == Grade::Fail).count();
+    let event_fail = event_results
+        .iter()
+        .filter(|r| r.grade == Grade::Fail)
+        .count();
 
     // --- RESULTS_scenarios.json (hand-built: the vendored serde is a stub) ---
     let mut json = String::new();
@@ -118,6 +184,19 @@ fn main() -> ExitCode {
     let _ = writeln!(json, "  \"pass\": {pass},");
     let _ = writeln!(json, "  \"degrade\": {degrade},");
     let _ = writeln!(json, "  \"fail\": {fail},");
+    let _ = writeln!(
+        json,
+        "  \"event_mode\": {{\"pass\": {}, \"degrade\": {}, \"fail\": {}}},",
+        event_results
+            .iter()
+            .filter(|r| r.grade == Grade::Pass)
+            .count(),
+        event_results
+            .iter()
+            .filter(|r| r.grade == Grade::Degrade)
+            .count(),
+        event_fail
+    );
     let _ = writeln!(json, "  \"scenarios\": [");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
@@ -205,59 +284,48 @@ fn main() -> ExitCode {
     std::fs::write(results_path, &json).expect("write RESULTS_scenarios.json");
     println!("wrote {results_path}");
 
-    // --- golden conformance ---
-    let manifest = format_manifest(&rows);
+    // --- golden conformance, both scheduler modes ---
     if bless {
         std::fs::create_dir_all(std::path::Path::new(golden_path()).parent().unwrap())
             .expect("create tests/golden");
-        std::fs::write(golden_path(), &manifest).expect("write golden manifest");
+        std::fs::write(golden_path(), format_manifest(&rows)).expect("write golden manifest");
         println!("blessed {} rows into {}", rows.len(), golden_path());
+        std::fs::write(golden_event_path(), format_manifest(&event_rows))
+            .expect("write event golden manifest");
+        println!(
+            "blessed {} rows into {}",
+            event_rows.len(),
+            golden_event_path()
+        );
     } else {
-        let committed = match std::fs::read_to_string(golden_path()) {
-            Ok(text) => text,
-            Err(e) => {
-                eprintln!(
-                    "no golden manifest at {} ({e}); run with --bless to create it",
-                    golden_path()
-                );
-                return ExitCode::FAILURE;
-            }
+        let drift = match (
+            verify_manifest("lockstep", golden_path(), &rows),
+            verify_manifest("event", golden_event_path(), &event_rows),
+        ) {
+            (Some(a), Some(b)) => a + b,
+            _ => return ExitCode::FAILURE,
         };
-        let committed_rows = parse_manifest(&committed);
-        let mut drift = 0;
-        for (name, digest, outcome) in &rows {
-            match committed_rows.iter().find(|(n, _, _)| n == name) {
-                Some((_, want_digest, want_outcome)) => {
-                    if digest != want_digest || outcome != want_outcome {
-                        eprintln!(
-                            "GOLDEN DRIFT {name}: have {digest}/{outcome}, \
-                             committed {want_digest}/{want_outcome}"
-                        );
-                        drift += 1;
-                    }
-                }
-                None => {
-                    eprintln!("GOLDEN DRIFT {name}: not in the committed manifest");
-                    drift += 1;
-                }
-            }
-        }
-        for (name, _, _) in &committed_rows {
-            if !rows.iter().any(|(n, _, _)| n == name) {
-                eprintln!("GOLDEN DRIFT {name}: committed but no longer produced");
-                drift += 1;
-            }
-        }
         if drift > 0 {
             eprintln!("{drift} golden-trace mismatches (bless after reviewing the diff)");
             return ExitCode::FAILURE;
         }
-        println!("all {} golden digests match", rows.len());
+        println!(
+            "all {} lockstep + {} event-driven golden digests match",
+            rows.len(),
+            event_rows.len()
+        );
     }
 
-    println!("{pass} pass / {degrade} degrade / {fail} fail");
+    println!("{pass} pass / {degrade} degrade / {fail} fail (lockstep)");
     if fail > 0 {
         eprintln!("{fail} scenarios FAILED a safety invariant or did not terminate");
+        return ExitCode::FAILURE;
+    }
+    if event_fail > 0 {
+        eprintln!(
+            "{event_fail} scenarios FAILED a safety invariant or did not terminate in \
+             event-driven mode"
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

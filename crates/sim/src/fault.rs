@@ -293,6 +293,16 @@ impl SessionFaults for PlanFaults {
             _ => None,
         }
     }
+
+    fn next_due(&mut self, _now: f64) -> Option<f64> {
+        // The one time-triggered injector is the role change; everything
+        // else either rides frame events (drops, noise, occlusion, facing)
+        // or coalesces exactly over idle gaps (constant heading drift).
+        match self.role_change {
+            Some((at_s, _)) if !self.role_fired => Some(at_s),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -390,5 +400,23 @@ mod tests {
         assert_eq!(f.role_change(1.0), None);
         assert_eq!(f.role_change(2.0), Some(Role::Visitor));
         assert_eq!(f.role_change(3.0), None);
+    }
+
+    #[test]
+    fn next_due_tracks_the_pending_role_change_only() {
+        let plan = FaultPlan::single(
+            0,
+            FaultKind::RoleChange {
+                at_s: 2.0,
+                to: Role::Visitor,
+            },
+        );
+        let mut f = plan.build();
+        assert_eq!(f.next_due(0.0), Some(2.0));
+        f.role_change(2.0);
+        assert_eq!(f.next_due(2.0), None, "a fired injector schedules nothing");
+
+        let mut quiet = FaultPlan::single(0, FaultKind::AzimuthDrift { rate_rad_s: 0.01 }).build();
+        assert_eq!(quiet.next_due(0.0), None, "constant drift coalesces");
     }
 }

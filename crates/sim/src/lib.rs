@@ -28,9 +28,10 @@ pub mod sweep;
 pub mod trace;
 
 pub use fault::{FaultKind, FaultPlan, PlanFaults};
+pub use hdc_runtime::ScheduleMode;
 pub use scenario::{
-    build_matrix, linked_fleet_cases, mission_cases, run_matrix_with, run_scenario, Grade,
-    Scenario, ScenarioResult,
+    build_matrix, linked_fleet_cases, linked_fleet_cases_mode, mission_cases, run_matrix_mode,
+    run_matrix_with, run_scenario, run_scenario_with, Grade, Scenario, ScenarioResult,
 };
 pub use sweep::{dead_angle_sweep, dead_angle_sweep_with, link_loss_sweep_with, LossPoint};
 pub use trace::{canonical_trace, digest_hex, fnv1a64};

@@ -26,8 +26,9 @@ use hdc_drone::LedMode;
 use hdc_figure::MarshallingSign;
 use hdc_link::LinkQuality;
 use hdc_orchard::{
-    run_linked_fleet, LinkedFleetConfig, Mission, MissionConfig, OrchardMap, RadioFailure,
+    run_linked_fleet_mode, LinkedFleetConfig, Mission, MissionConfig, OrchardMap, RadioFailure,
 };
+use hdc_runtime::{micros_to_secs, EventHeap, ScheduleMode};
 
 /// A named, fully specified scenario.
 #[derive(Debug, Clone)]
@@ -85,8 +86,42 @@ pub struct ScenarioResult {
     pub frames: (usize, usize, usize, usize),
 }
 
-/// Runs one scenario through the full closed loop.
+/// The events the scenario choreographer schedules on its heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SimEvent {
+    /// Advance the session by one lockstep tick.
+    Tick,
+    /// Fire the scenario's external safety injection.
+    InjectSafety,
+}
+
+/// Event-kind rank for [`SimEvent::InjectSafety`] (fires before a
+/// same-instant tick).
+const RANK_INJECT: u16 = 0;
+/// Event-kind rank for [`SimEvent::Tick`].
+const RANK_TICK: u16 = 1;
+
+/// Runs one scenario through the full closed loop in lockstep mode — the
+/// mode the committed golden manifest pins.
 pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
+    run_scenario_with(scenario, ScheduleMode::Lockstep)
+}
+
+/// Runs one scenario through the full closed loop under the given scheduler
+/// mode.
+///
+/// Both modes are choreographed by a deterministic [`EventHeap`]:
+///
+/// * [`ScheduleMode::Lockstep`] schedules one tick event per session `DT`
+///   and checks the external safety injection at each tick boundary, exactly
+///   as the pre-scheduler fixed-rate loop did — traces are bit-identical to
+///   it at every worker count;
+/// * [`ScheduleMode::EventDriven`] schedules the injection as a timed event
+///   and otherwise jumps the session straight between its due times, so the
+///   long idle stretches cost zero drone ticks. Deterministic, but pinned by
+///   its own blessed manifest (`tests/golden/scenario_digests_event.txt`).
+pub fn run_scenario_with(scenario: &Scenario, mode: ScheduleMode) -> ScenarioResult {
+    const TICK: f64 = CollaborationSession::TICK_S;
     let mut config = scenario.config;
     scenario.plan.apply_config(&mut config);
     let mut session = CollaborationSession::new(config);
@@ -95,31 +130,72 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
     }
     session.set_faults(Box::new(scenario.plan.build()));
 
-    let mut inject_at = scenario.inject_safety_at;
-    while !session.is_done() && session.time() < config.max_duration_s {
-        if let Some(at) = inject_at {
-            if session.time() >= at {
-                session.inject_safety("scenario fault injection");
-                inject_at = None;
+    let mut heap: EventHeap<SimEvent> = EventHeap::new(config.seed);
+    match mode {
+        ScheduleMode::Lockstep => {
+            let mut inject_at = scenario.inject_safety_at;
+            heap.schedule_at_s(TICK, 0, RANK_TICK, SimEvent::Tick);
+            while let Some(ev) = heap.pop() {
+                debug_assert_eq!(ev.event, SimEvent::Tick);
+                if session.is_done() || session.time() >= config.max_duration_s {
+                    break;
+                }
+                if let Some(at) = inject_at {
+                    if session.time() >= at {
+                        session.inject_safety("scenario fault injection");
+                        inject_at = None;
+                    }
+                }
+                session.step();
+                heap.schedule_at_s(session.time() + TICK, 0, RANK_TICK, SimEvent::Tick);
             }
         }
-        session.step();
+        ScheduleMode::EventDriven => {
+            if let Some(at) = scenario.inject_safety_at {
+                heap.schedule_at_s(at, 0, RANK_INJECT, SimEvent::InjectSafety);
+            }
+            while !session.is_done() && session.time() < config.max_duration_s {
+                let now = session.time();
+                while heap.peek_time().is_some_and(|t| micros_to_secs(t) <= now) {
+                    if let SimEvent::InjectSafety = heap.pop().expect("peeked").event {
+                        session.inject_safety("scenario fault injection");
+                    }
+                }
+                let mut target = session.next_due_after(now);
+                if let Some(t) = heap.peek_time() {
+                    target = target.min(micros_to_secs(t));
+                }
+                if target <= now || target.is_nan() {
+                    target = now + TICK;
+                }
+                session.step_to(target.min(config.max_duration_s));
+            }
+        }
     }
     let report = session.into_report();
     grade_report(scenario, &report)
 }
 
-/// Runs a scenario set across a work pool, results in matrix order.
+/// Runs a scenario set across a work pool, results in matrix order
+/// (lockstep mode — what the committed golden manifest pins).
 ///
 /// Scenarios are independent and seed-deterministic, so this is a pure
 /// fan-out: the result vector — digests included — is byte-identical to the
-/// serial `scenarios.iter().map(run_scenario)` at every worker count (the
-/// golden manifest pins exactly that).
+/// serial `scenarios.iter().map(run_scenario)` at every worker count.
 pub fn run_matrix_with(
     pool: &hdc_runtime::WorkPool,
     scenarios: &[Scenario],
 ) -> Vec<ScenarioResult> {
-    pool.map(scenarios, run_scenario)
+    run_matrix_mode(pool, scenarios, ScheduleMode::Lockstep)
+}
+
+/// [`run_matrix_with`] under an explicit scheduler mode.
+pub fn run_matrix_mode(
+    pool: &hdc_runtime::WorkPool,
+    scenarios: &[Scenario],
+    mode: ScheduleMode,
+) -> Vec<ScenarioResult> {
+    pool.map(scenarios, |s| run_scenario_with(s, mode))
 }
 
 /// Grades a finished session report against a scenario's expectations.
@@ -625,8 +701,16 @@ pub fn mission_cases() -> Vec<(String, String, String)> {
 
 /// Linked-fleet conformance cases: `(name, digest, summary)` rows pinning
 /// the datalink-supervised fleet (reliable dispatch, lease supervision,
-/// re-dispatch after radio death) on top of the link layer.
+/// re-dispatch after radio death) on top of the link layer, in
+/// lockstep-compat mode (the committed manifest).
 pub fn linked_fleet_cases() -> Vec<(String, String, String)> {
+    linked_fleet_cases_mode(ScheduleMode::Lockstep)
+}
+
+/// [`linked_fleet_cases`] under an explicit scheduler mode. Event-driven
+/// rows land in the event manifest: same campaigns, clock jumping between
+/// due times instead of ticking.
+pub fn linked_fleet_cases_mode(mode: ScheduleMode) -> Vec<(String, String, String)> {
     let cases: [(&str, u64, LinkQuality, Vec<RadioFailure>); 3] = [
         ("fleet-link-clean", 5, LinkQuality::clean(), vec![]),
         (
@@ -654,7 +738,7 @@ pub fn linked_fleet_cases() -> Vec<(String, String, String)> {
                 failures,
                 ..Default::default()
             };
-            let stats = run_linked_fleet(&cfg, &map, seed);
+            let stats = run_linked_fleet_mode(&cfg, &map, seed, mode);
             let text = format!("{stats:?}");
             let summary = format!(
                 "confirmed={}/{} lost={} reassigned={} dup_reads={}",
@@ -674,6 +758,17 @@ pub fn golden_path() -> &'static str {
     concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../../tests/golden/scenario_digests.txt"
+    )
+}
+
+/// Where the event-driven golden manifest lives (repo root, committed).
+/// Pins [`ScheduleMode::EventDriven`] separately: event mode is allowed to
+/// differ behaviourally from lockstep, but must be deterministic and
+/// worker-invariant.
+pub fn golden_event_path() -> &'static str {
+    concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/scenario_digests_event.txt"
     )
 }
 

@@ -3,8 +3,11 @@
 //! the coverage floor the harness promises (all roles, all three signs,
 //! every fault injector at two intensities).
 
-use hdc_sim::scenario::{golden_path, parse_manifest};
-use hdc_sim::{build_matrix, mission_cases, run_scenario, FaultKind, Grade};
+use hdc_sim::scenario::{golden_event_path, golden_path, parse_manifest};
+use hdc_sim::{
+    build_matrix, linked_fleet_cases_mode, mission_cases, run_scenario, run_scenario_with,
+    FaultKind, Grade, ScheduleMode,
+};
 
 #[test]
 fn matrix_covers_roles_signs_and_all_injectors_twice() {
@@ -79,6 +82,56 @@ fn every_scenario_passes_and_matches_its_golden_digest() {
             "{}: outcome class drifted",
             result.name
         );
+    }
+}
+
+#[test]
+fn event_driven_scenarios_stay_safe_and_match_their_golden_digests() {
+    let committed = std::fs::read_to_string(golden_event_path())
+        .expect("committed event golden manifest (bless with run_scenarios --bless)");
+    let golden = parse_manifest(&committed);
+
+    for scenario in build_matrix() {
+        let result = run_scenario_with(&scenario, ScheduleMode::EventDriven);
+        // event mode may land in a different (still expected) outcome class
+        // than lockstep, but the safety invariants are mode-independent
+        assert_ne!(
+            result.grade,
+            Grade::Fail,
+            "{}: outcome {}, violations {:?}",
+            result.name,
+            result.outcome,
+            result.violations
+        );
+        let (_, want_digest, want_outcome) = golden
+            .iter()
+            .find(|(name, _, _)| *name == result.name)
+            .unwrap_or_else(|| panic!("{} missing from the event golden manifest", result.name));
+        assert_eq!(
+            &result.digest, want_digest,
+            "{}: event-driven trace drifted from the committed golden",
+            result.name
+        );
+        assert_eq!(
+            &result.outcome.to_string().to_lowercase(),
+            want_outcome,
+            "{}: event-driven outcome class drifted",
+            result.name
+        );
+    }
+}
+
+#[test]
+fn event_driven_fleet_cases_match_their_golden_digests() {
+    let committed = std::fs::read_to_string(golden_event_path())
+        .expect("committed event golden manifest (bless with run_scenarios --bless)");
+    let golden = parse_manifest(&committed);
+    for (name, digest, _) in linked_fleet_cases_mode(ScheduleMode::EventDriven) {
+        let (_, want, _) = golden
+            .iter()
+            .find(|(n, _, _)| *n == name)
+            .unwrap_or_else(|| panic!("{name} missing from the event golden manifest"));
+        assert_eq!(&digest, want, "{name}: event-driven fleet stats drifted");
     }
 }
 

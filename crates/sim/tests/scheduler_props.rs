@@ -1,0 +1,208 @@
+//! Property tests for the dual-mode mission scheduler.
+//!
+//! Three families:
+//!
+//! 1. **Lockstep compatibility** — the heap-choreographed lockstep driver
+//!    must be *byte-identical* (trace digest, outcome, frame counters) to
+//!    the pre-scheduler fixed-rate loop, for arbitrary scenarios: random
+//!    roles, consent, seeds, human scripts, fault plans, and safety
+//!    injections — not just the committed matrix.
+//! 2. **Worker invariance** — matrix results in both scheduler modes are a
+//!    pure function of the scenarios, identical at every worker count.
+//! 3. **No spurious work** — in event-driven mode an idle session performs
+//!    zero drone ticks between consecutive due times: quiet stretches cost
+//!    O(events), not O(ticks).
+
+use hdc_core::{
+    CollaborationSession, HumanScript, Role, ScriptedResponse, SessionConfig, SessionOutcome,
+};
+use hdc_figure::MarshallingSign;
+use hdc_sim::scenario::grade_report;
+use hdc_sim::{
+    run_matrix_mode, run_scenario_with, FaultKind, FaultPlan, Scenario, ScenarioResult,
+    ScheduleMode,
+};
+use proptest::prelude::*;
+
+/// Builds one fully specified scenario from plain picks (the proptest
+/// strategies stay scalar; the structure lives here).
+fn make_scenario(
+    role_pick: usize,
+    consent: bool,
+    seed: u64,
+    script_pick: usize,
+    fault_pick: usize,
+    inject: bool,
+) -> Scenario {
+    let role = [Role::Supervisor, Role::Worker, Role::Visitor][role_pick % 3];
+    let mut config = SessionConfig::for_role(role, consent, seed);
+    config = match script_pick % 5 {
+        0 => config, // stochastic human
+        1 => config.with_script(HumanScript::answering(ScriptedResponse::Sign(
+            MarshallingSign::Yes,
+        ))),
+        2 => config.with_script(HumanScript::answering(ScriptedResponse::Sign(
+            MarshallingSign::No,
+        ))),
+        3 => config.with_script(HumanScript::wave_off()),
+        _ => config.with_script(HumanScript {
+            on_poke: ScriptedResponse::Ignore,
+            on_request: ScriptedResponse::Ignore,
+            latency_s: 2.0,
+        }),
+    };
+    let faults = match fault_pick % 5 {
+        0 => vec![],
+        1 => vec![FaultKind::DroppedFrames { probability: 0.3 }],
+        2 => vec![FaultKind::DelayedResponse { delay_s: 4.0 }],
+        3 => vec![FaultKind::RoleChange {
+            at_s: 12.0,
+            to: Role::Visitor,
+        }],
+        _ => vec![
+            FaultKind::LinkDrop { probability: 0.2 },
+            FaultKind::NoiseBurst {
+                sigma: 20.0,
+                period_s: 4.0,
+                burst_s: 1.0,
+            },
+        ],
+    };
+    Scenario {
+        name: format!("prop-{role}-{consent}-{seed}-{script_pick}-{fault_pick}").to_lowercase(),
+        config,
+        plan: FaultPlan { seed, faults },
+        inject_safety_at: inject.then_some(8.0),
+        expect: vec![],
+    }
+}
+
+/// The pre-scheduler scenario driver, verbatim: a plain fixed-rate `step()`
+/// loop with the safety injection checked at every tick boundary. The
+/// heap-choreographed lockstep driver must reproduce it bit-for-bit.
+fn run_scenario_legacy(scenario: &Scenario) -> ScenarioResult {
+    let mut config = scenario.config;
+    scenario.plan.apply_config(&mut config);
+    let mut session = CollaborationSession::new(config);
+    if let Some(brightness) = scenario.plan.led_brightness() {
+        session.drone_mut().ring_mut().brightness = brightness;
+    }
+    session.set_faults(Box::new(scenario.plan.build()));
+    let mut inject_at = scenario.inject_safety_at;
+    while !session.is_done() && session.time() < config.max_duration_s {
+        if let Some(at) = inject_at {
+            if session.time() >= at {
+                session.inject_safety("scenario fault injection");
+                inject_at = None;
+            }
+        }
+        session.step();
+    }
+    let report = session.into_report();
+    grade_report(scenario, &report)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Lockstep-compat mode is byte-identical to the legacy loop for
+    // arbitrary scenarios, not just the committed matrix.
+    #[test]
+    fn lockstep_choreography_replays_the_legacy_loop_exactly(
+        role_pick in 0usize..3,
+        consent in any::<bool>(),
+        seed in 0u64..400,
+        script_pick in 0usize..5,
+        fault_pick in 0usize..5,
+        inject in any::<bool>(),
+    ) {
+        let scenario = make_scenario(role_pick, consent, seed, script_pick, fault_pick, inject);
+        let legacy = run_scenario_legacy(&scenario);
+        let lockstep = run_scenario_with(&scenario, ScheduleMode::Lockstep);
+        prop_assert_eq!(&legacy.digest, &lockstep.digest,
+            "{}: trace diverged from the legacy loop", scenario.name);
+        prop_assert_eq!(legacy.outcome, lockstep.outcome);
+        prop_assert_eq!(legacy.grade, lockstep.grade);
+        prop_assert_eq!(legacy.frames, lockstep.frames);
+        prop_assert_eq!(legacy.duration_s, lockstep.duration_s);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // Matrix fan-out is worker-invariant in both scheduler modes: digests
+    // are a pure function of the scenarios.
+    #[test]
+    fn matrix_digests_are_worker_invariant_in_both_modes(
+        seed in 0u64..200,
+        consent in any::<bool>(),
+    ) {
+        let scenarios: Vec<Scenario> = (0..3)
+            .map(|i| make_scenario(i, consent, seed + i as u64, i + 1, i, false))
+            .collect();
+        for mode in [ScheduleMode::Lockstep, ScheduleMode::EventDriven] {
+            let serial = run_matrix_mode(&hdc_runtime::WorkPool::new(1), &scenarios, mode);
+            for workers in [2usize, 3] {
+                let pool = hdc_runtime::WorkPool::new(workers);
+                let parallel = run_matrix_mode(&pool, &scenarios, mode);
+                for (a, b) in serial.iter().zip(&parallel) {
+                    prop_assert_eq!(&a.digest, &b.digest,
+                        "{}: {:?} digest depends on worker count {}", a.name, mode, workers);
+                    prop_assert_eq!(a.outcome, b.outcome);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Event-driven sessions never tick the drone across an idle hover gap:
+    // when the next due time is more than one tick away and the drone is
+    // neither executing a pattern nor flying, the gap is coasted in one
+    // jump and the drone-tick counter does not move.
+    #[test]
+    fn idle_sessions_do_zero_drone_work_between_events(
+        seed in 0u64..300,
+        latency_s in 3.0f64..9.0,
+        consent in any::<bool>(),
+    ) {
+        const TICK: f64 = CollaborationSession::TICK_S;
+        let config = SessionConfig::for_role(Role::Worker, consent, seed).with_script(
+            HumanScript {
+                on_poke: ScriptedResponse::Sign(MarshallingSign::AttentionGained),
+                on_request: ScriptedResponse::Sign(MarshallingSign::Yes),
+                latency_s,
+            },
+        );
+        let mut session = CollaborationSession::new(config);
+        let mut checked_gaps = 0u32;
+        let mut iterations = 0u32;
+        while !session.is_done() && session.time() < config.max_duration_s {
+            iterations += 1;
+            prop_assert!(iterations < 20_000, "event loop failed to make progress");
+            let now = session.time();
+            let mut target = session.next_due_after(now);
+            if target <= now || target.is_nan() {
+                target = now + TICK;
+            }
+            let target = target.min(config.max_duration_s);
+            let idle_gap = target - now > TICK + 1e-9
+                && !session.drone().is_executing()
+                && !session.drone().has_waypoint();
+            let ticks_before = session.drone_ticks();
+            session.step_to(target);
+            if idle_gap {
+                prop_assert_eq!(session.drone_ticks(), ticks_before,
+                    "drone ticked across an idle {:.2}s gap at {:.2}s", target - now, now);
+                checked_gaps += 1;
+            }
+        }
+        prop_assert!(session.is_done(), "scripted session must terminate");
+        prop_assert!(checked_gaps > 0, "the scripted session must contain idle gaps");
+        let report = session.into_report();
+        prop_assert_ne!(report.outcome, SessionOutcome::StillRunning);
+    }
+}

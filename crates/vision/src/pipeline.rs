@@ -6,7 +6,9 @@ use crate::signature::{
 };
 use crate::timing::StageTimings;
 use hdc_figure::{render_sign, MarshallingSign, ViewSpec};
-use hdc_raster::threshold::{binarize_into, binarize_packed_into, otsu_threshold};
+use hdc_raster::threshold::{
+    binarize_bytes_into, binarize_into, binarize_packed_into, otsu_threshold,
+};
 use hdc_raster::{
     largest_component_packed_with, largest_component_with, morphology, BitMask, Bitmap,
     Connectivity, GrayImage, LabelScratch,
@@ -27,17 +29,24 @@ pub enum SegmentationMode {
 
 /// Which kernel family the silhouette stages run on.
 ///
-/// Both produce bit-identical masks, contours and decisions (property-tested
-/// in `tests/packed_equivalence.rs`); they differ only in speed. The byte
-/// path is retained as the oracle and the honest "before" baseline for the
-/// committed benchmarks.
+/// All three produce bit-identical masks, contours and decisions
+/// (property-tested in `tests/packed_equivalence.rs`); they differ only in
+/// speed. The byte and packed paths are retained as oracles and as the
+/// honest "before" baselines for the committed benchmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum KernelPath {
     /// One byte per pixel ([`Bitmap`]): the original kernels.
     Byte,
-    /// 64 pixels per `u64` word ([`BitMask`]): word-parallel bit ops.
-    #[default]
+    /// 64 pixels per `u64` word ([`BitMask`]): word-parallel bit ops,
+    /// including the SWAR packed binariser.
     Packed,
+    /// Byte-compare binarisation (one branch-free byte op per pixel, which
+    /// the compiler vectorises) followed by a single gather-multiply pack
+    /// into the [`BitMask`] layout, then the word-parallel
+    /// morphology/labelling/contour kernels. Combines the fastest binariser
+    /// with the fastest silhouette kernels.
+    #[default]
+    Hybrid,
 }
 
 /// Pipeline configuration.
@@ -209,7 +218,9 @@ pub struct FrameScratch {
     opened: Bitmap,
     /// Isolated largest-component mask.
     blob: Bitmap,
-    /// Binarised frame, bit-packed ([`KernelPath::Packed`]).
+    /// Binarised frame as 0/1 bytes ([`KernelPath::Hybrid`]'s pack input).
+    mask_u8: GrayImage,
+    /// Binarised frame, bit-packed ([`KernelPath::Packed`] / Hybrid).
     mask_bits: BitMask,
     /// Packed morphological-opening intermediate.
     eroded_bits: BitMask,
@@ -233,6 +244,7 @@ impl FrameScratch {
             eroded: Bitmap::new(1, 1),
             opened: Bitmap::new(1, 1),
             blob: Bitmap::new(1, 1),
+            mask_u8: GrayImage::new(1, 1),
             mask_bits: BitMask::new(1, 1),
             eroded_bits: BitMask::new(1, 1),
             opened_bits: BitMask::new(1, 1),
@@ -328,9 +340,16 @@ impl RecognitionPipeline {
                 timings.component_us = t1.elapsed().as_micros() as u64;
                 comp
             }
-            KernelPath::Packed => {
+            KernelPath::Packed | KernelPath::Hybrid => {
                 let t0 = Instant::now();
-                binarize_packed_into(frame, threshold, &mut scratch.mask_bits);
+                if self.config.kernels == KernelPath::Hybrid {
+                    // byte-compare binarise (vectorised), then one
+                    // gather-multiply pack into the word layout
+                    binarize_bytes_into(frame, threshold, &mut scratch.mask_u8);
+                    scratch.mask_bits.pack_from_bytes(&scratch.mask_u8);
+                } else {
+                    binarize_packed_into(frame, threshold, &mut scratch.mask_bits);
+                }
                 if self.config.denoise {
                     morphology::open_packed_into(
                         &scratch.mask_bits,
@@ -368,7 +387,9 @@ impl RecognitionPipeline {
         let t2 = Instant::now();
         let traced = match self.config.kernels {
             KernelPath::Byte => trace_contour_with(&scratch.blob, &mut scratch.sig),
-            KernelPath::Packed => trace_contour_packed_with(&scratch.blob_bits, &mut scratch.sig),
+            KernelPath::Packed | KernelPath::Hybrid => {
+                trace_contour_packed_with(&scratch.blob_bits, &mut scratch.sig)
+            }
         };
         timings.contour_us = t2.elapsed().as_micros() as u64;
         traced.map_err(FrameFailure::Signature)?;

@@ -1,29 +1,32 @@
-//! Byte-vs-packed kernel equivalence at the pipeline level.
+//! Byte-vs-packed(-vs-hybrid) kernel equivalence at the pipeline level.
 //!
-//! The packed kernels are only admissible if they change *nothing* but
-//! speed: same decisions, same diagnostics, same signature series, bit for
-//! bit, across accept frames, reject frames, noisy frames and both
-//! segmentation modes. The byte path is the oracle.
+//! The packed and hybrid kernels are only admissible if they change
+//! *nothing* but speed: same decisions, same diagnostics, same signature
+//! series, bit for bit, across accept frames, reject frames, noisy frames
+//! and both segmentation modes. The byte path is the oracle.
 
 use hdc_figure::{render_sign, MarshallingSign, ViewSpec};
 use hdc_raster::GrayImage;
 use hdc_vision::{FrameScratch, KernelPath, PipelineConfig, RecognitionPipeline, SegmentationMode};
 
-fn pipelines(base: PipelineConfig) -> (RecognitionPipeline, RecognitionPipeline) {
+/// The kernel paths that must reproduce the byte oracle exactly.
+const CANDIDATES: [KernelPath; 2] = [KernelPath::Packed, KernelPath::Hybrid];
+
+fn pipelines(
+    base: PipelineConfig,
+    kernels: KernelPath,
+) -> (RecognitionPipeline, RecognitionPipeline) {
     let byte_cfg = PipelineConfig {
         kernels: KernelPath::Byte,
         ..base
     };
-    let packed_cfg = PipelineConfig {
-        kernels: KernelPath::Packed,
-        ..base
-    };
+    let candidate_cfg = PipelineConfig { kernels, ..base };
     let mut byte = RecognitionPipeline::new(byte_cfg);
-    let mut packed = RecognitionPipeline::new(packed_cfg);
+    let mut candidate = RecognitionPipeline::new(candidate_cfg);
     let canonical = ViewSpec::paper_default(0.0, 5.0, 3.0);
     byte.calibrate_from_views(&canonical);
-    packed.calibrate_from_views(&canonical);
-    (byte, packed)
+    candidate.calibrate_from_views(&canonical);
+    (byte, candidate)
 }
 
 fn assert_streams_identical(
@@ -87,8 +90,11 @@ fn view_sweep() -> Vec<GrayImage> {
 
 #[test]
 fn packed_decisions_match_byte_decisions() {
-    let (byte, packed) = pipelines(PipelineConfig::default());
-    assert_streams_identical(&byte, &packed, &view_sweep(), "default config");
+    for kernels in CANDIDATES {
+        let (byte, candidate) = pipelines(PipelineConfig::default(), kernels);
+        let context = format!("default config, {kernels:?}");
+        assert_streams_identical(&byte, &candidate, &view_sweep(), &context);
+    }
 }
 
 #[test]
@@ -98,16 +104,19 @@ fn packed_matches_byte_with_denoise_and_noise() {
         denoise: true,
         ..PipelineConfig::default()
     };
-    let (byte, packed) = pipelines(base);
-    let mut rng = SmallRng::seed_from_u64(4242);
-    let frames: Vec<GrayImage> = view_sweep()
-        .into_iter()
-        .map(|mut f| {
-            hdc_raster::noise::add_salt_pepper(&mut f, 0.02, &mut rng);
-            f
-        })
-        .collect();
-    assert_streams_identical(&byte, &packed, &frames, "denoise + salt-pepper");
+    for kernels in CANDIDATES {
+        let (byte, candidate) = pipelines(base, kernels);
+        let mut rng = SmallRng::seed_from_u64(4242);
+        let frames: Vec<GrayImage> = view_sweep()
+            .into_iter()
+            .map(|mut f| {
+                hdc_raster::noise::add_salt_pepper(&mut f, 0.02, &mut rng);
+                f
+            })
+            .collect();
+        let context = format!("denoise + salt-pepper, {kernels:?}");
+        assert_streams_identical(&byte, &candidate, &frames, &context);
+    }
 }
 
 #[test]
@@ -116,25 +125,31 @@ fn packed_matches_byte_under_otsu() {
         segmentation: SegmentationMode::Otsu,
         ..PipelineConfig::default()
     };
-    let (byte, packed) = pipelines(base);
-    assert_streams_identical(&byte, &packed, &view_sweep(), "otsu");
+    for kernels in CANDIDATES {
+        let (byte, candidate) = pipelines(base, kernels);
+        let context = format!("otsu, {kernels:?}");
+        assert_streams_identical(&byte, &candidate, &view_sweep(), &context);
+    }
 }
 
 #[test]
 fn packed_matches_byte_at_odd_resolutions() {
     // Frame widths that are not multiples of 64 exercise the tail-word
     // handling of every packed kernel end to end.
-    let (byte, packed) = pipelines(PipelineConfig::default());
-    let mut frames = Vec::new();
-    for width in [130u32, 321, 333] {
-        for sign in MarshallingSign::ALL {
-            let mut v = ViewSpec::paper_default(10.0, 5.0, 3.0);
-            let scale = width as f64 / v.width as f64;
-            v.width = width;
-            v.height = (v.height as f64 * scale) as u32;
-            v.focal_px *= scale;
-            frames.push(render_sign(sign, &v));
+    for kernels in CANDIDATES {
+        let (byte, candidate) = pipelines(PipelineConfig::default(), kernels);
+        let mut frames = Vec::new();
+        for width in [130u32, 321, 333] {
+            for sign in MarshallingSign::ALL {
+                let mut v = ViewSpec::paper_default(10.0, 5.0, 3.0);
+                let scale = width as f64 / v.width as f64;
+                v.width = width;
+                v.height = (v.height as f64 * scale) as u32;
+                v.focal_px *= scale;
+                frames.push(render_sign(sign, &v));
+            }
         }
+        let context = format!("odd widths, {kernels:?}");
+        assert_streams_identical(&byte, &candidate, &frames, &context);
     }
-    assert_streams_identical(&byte, &packed, &frames, "odd widths");
 }
